@@ -1,0 +1,80 @@
+package coopscan
+
+import (
+	"coopscan/internal/exec"
+	"coopscan/internal/tpch"
+)
+
+// The synthetic TPC-H-like data substrate and the query processing used by
+// the paper's workloads, re-exported so applications and examples only need
+// this package.
+
+// Generator produces deterministic lineitem column slices; any row range of
+// any column can be generated on demand in O(range) time, so realistic
+// multi-gigabyte tables need no materialisation.
+type Generator = tpch.Generator
+
+// Lineitem returns TPC-H-like lineitem metadata at the given scale factor
+// (6 M rows per unit), with per-column compression schemes and densities.
+func Lineitem(sf float64) *Table { return tpch.LineitemTable(sf) }
+
+// NewLineitemGenerator creates a deterministic generator over the table.
+func NewLineitemGenerator(t *Table, seed uint64) *Generator {
+	return tpch.NewGenerator(t, seed)
+}
+
+// Lineitem column indices, in schema order.
+const (
+	ColOrderKey      = tpch.ColOrderKey
+	ColPartKey       = tpch.ColPartKey
+	ColSuppKey       = tpch.ColSuppKey
+	ColLineNumber    = tpch.ColLineNumber
+	ColQuantity      = tpch.ColQuantity
+	ColExtendedPrice = tpch.ColExtendedPrice
+	ColDiscount      = tpch.ColDiscount
+	ColTax           = tpch.ColTax
+	ColReturnFlag    = tpch.ColReturnFlag
+	ColLineStatus    = tpch.ColLineStatus
+	ColShipDate      = tpch.ColShipDate
+	ColCommitDate    = tpch.ColCommitDate
+	ColReceiptDate   = tpch.ColReceiptDate
+	ColShipInstruct  = tpch.ColShipInstruct
+	ColShipMode      = tpch.ColShipMode
+	ColComment       = tpch.ColComment
+)
+
+// DateMin and DateMax bound the generator's date encoding (days since
+// 1992-01-01 over the 7-year TPC-H span).
+const (
+	DateMin = tpch.DateMin
+	DateMax = tpch.DateMax
+)
+
+// Query processing building blocks (see internal/exec for details).
+type (
+	// Q6Result is the FAST query's (TPC-H Q6) aggregate.
+	Q6Result = exec.Q6Result
+	// Q6Predicate parameterises Q6.
+	Q6Predicate = exec.Q6Predicate
+	// Q1Result is the SLOW query's (TPC-H Q1) grouped aggregate.
+	Q1Result = exec.Q1Result
+	// Group is an ordered-aggregation or join output group.
+	Group = exec.Group
+	// OrderedAgg aggregates a disk-ordered key under out-of-order chunk
+	// delivery (paper §7.2).
+	OrderedAgg = exec.OrderedAgg
+	// CMJ is the Cooperative Merge Join consumer over a join index.
+	CMJ = exec.CMJ
+	// OrdersDim is CMJ's in-memory dimension side.
+	OrdersDim = exec.OrdersDim
+)
+
+// Execution entry points, re-exported from internal/exec.
+var (
+	DefaultQ6     = exec.DefaultQ6
+	Q6Chunk       = exec.Q6Chunk
+	Q1Chunk       = exec.Q1Chunk
+	NewOrderedAgg = exec.NewOrderedAgg
+	NewCMJ        = exec.NewCMJ
+	NewOrdersDim  = exec.NewOrdersDim
+)

@@ -1,0 +1,257 @@
+// Package bufferpool implements a classic page-granularity buffer manager
+// with pluggable replacement (LRU, MRU, Clock) and pin counts — the
+// "standard buffer manager" of the paper's §7.1, on top of which the Active
+// Buffer Manager can be layered in an existing RDBMS: ABM requests a range
+// of pages, the pool reads and pins them (at arbitrary frame positions),
+// and ABM frees them when it decides to evict the chunk.
+//
+// The chunk-granularity cache inside internal/core supersedes this for the
+// simulation experiments; this package exists as the integration substrate
+// (and documents the PostgreSQL-prototype path the paper describes), with
+// the ChunkView type providing exactly the pin-a-range/release-a-range
+// interface §7.1 sketches.
+package bufferpool
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies a page on the underlying store.
+type PageID int64
+
+// Replacement selects a victim frame among the unpinned resident pages.
+type Replacement int
+
+// Supported replacement policies. The paper's §3 observes that classic work
+// suggested LRU or MRU for scans, both of which share poorly; Clock is the
+// common LRU approximation.
+const (
+	LRU Replacement = iota
+	MRU
+	Clock
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case MRU:
+		return "mru"
+	case Clock:
+		return "clock"
+	}
+	return fmt.Sprintf("replacement(%d)", int(r))
+}
+
+// ErrNoFrame is returned when every frame is pinned.
+var ErrNoFrame = errors.New("bufferpool: all frames pinned")
+
+// Reader loads the contents of a page from the underlying store.
+type Reader func(id PageID) ([]byte, error)
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+type frame struct {
+	id       PageID
+	data     []byte
+	pins     int
+	lastUsed int64 // logical tick of last access
+	loadedAt int64
+	refBit   bool // Clock's second-chance bit
+}
+
+// Pool is a fixed-capacity page buffer.
+type Pool struct {
+	capacity int
+	policy   Replacement
+	read     Reader
+
+	frames map[PageID]*frame
+	order  []*frame // stable order for deterministic victim scans
+	tick   int64
+	hand   int // Clock hand
+	stats  Stats
+}
+
+// New creates a pool holding up to capacity pages, loading misses with read.
+func New(capacity int, policy Replacement, read Reader) *Pool {
+	if capacity < 1 {
+		panic("bufferpool: capacity < 1")
+	}
+	if read == nil {
+		panic("bufferpool: nil reader")
+	}
+	return &Pool{
+		capacity: capacity,
+		policy:   policy,
+		read:     read,
+		frames:   make(map[PageID]*frame, capacity),
+	}
+}
+
+// Pin returns the page's contents with its pin count incremented, loading
+// it (and evicting a victim if the pool is full) on a miss. Callers must
+// Unpin exactly once per Pin.
+func (p *Pool) Pin(id PageID) ([]byte, error) {
+	p.tick++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		f.pins++
+		f.lastUsed = p.tick
+		f.refBit = true
+		return f.data, nil
+	}
+	p.stats.Misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	data, err := p.read(id)
+	if err != nil {
+		return nil, fmt.Errorf("bufferpool: load page %d: %w", id, err)
+	}
+	f := &frame{id: id, data: data, pins: 1, lastUsed: p.tick, loadedAt: p.tick, refBit: true}
+	p.frames[id] = f
+	p.order = append(p.order, f)
+	return f.data, nil
+}
+
+// Unpin releases one pin of the page.
+func (p *Pool) Unpin(id PageID) {
+	f, ok := p.frames[id]
+	if !ok || f.pins <= 0 {
+		panic(fmt.Sprintf("bufferpool: Unpin(%d) without pin", id))
+	}
+	f.pins--
+}
+
+// Contains reports whether the page is resident (pinned or not).
+func (p *Pool) Contains(id PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Resident returns the number of resident pages.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Stats returns a copy of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// evictOne removes one unpinned page according to the policy.
+func (p *Pool) evictOne() error {
+	switch p.policy {
+	case Clock:
+		return p.evictClock()
+	default:
+		return p.evictByRecency()
+	}
+}
+
+func (p *Pool) evictByRecency() error {
+	var victim *frame
+	for _, f := range p.order {
+		if f.pins > 0 {
+			continue
+		}
+		if victim == nil {
+			victim = f
+			continue
+		}
+		if p.policy == LRU && f.lastUsed < victim.lastUsed {
+			victim = f
+		}
+		if p.policy == MRU && f.lastUsed > victim.lastUsed {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return ErrNoFrame
+	}
+	p.remove(victim)
+	return nil
+}
+
+func (p *Pool) evictClock() error {
+	if len(p.order) == 0 {
+		return ErrNoFrame
+	}
+	// Two full sweeps: the first clears reference bits, the second must
+	// find a victim unless everything is pinned.
+	for sweep := 0; sweep < 2*len(p.order); sweep++ {
+		if p.hand >= len(p.order) {
+			p.hand = 0
+		}
+		f := p.order[p.hand]
+		if f.pins > 0 {
+			p.hand++
+			continue
+		}
+		if f.refBit {
+			f.refBit = false
+			p.hand++
+			continue
+		}
+		p.remove(f)
+		return nil
+	}
+	return ErrNoFrame
+}
+
+func (p *Pool) remove(f *frame) {
+	delete(p.frames, f.id)
+	for i, of := range p.order {
+		if of == f {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	p.stats.Evictions++
+}
+
+// ChunkView is the §7.1 integration surface: ABM "requests a range of data
+// from the underlying manager", receives the pages pinned (wherever they
+// sit in the pool), hands them to interested CScans, and releases them when
+// it evicts the chunk.
+type ChunkView struct {
+	pool  *Pool
+	Pages []PageID
+	Data  [][]byte
+}
+
+// PinRange pins every page in [first, last) and returns the view; on any
+// failure it releases what it pinned and returns the error.
+func (p *Pool) PinRange(first, last PageID) (*ChunkView, error) {
+	if last < first {
+		panic(fmt.Sprintf("bufferpool: PinRange(%d, %d)", first, last))
+	}
+	v := &ChunkView{pool: p}
+	for id := first; id < last; id++ {
+		data, err := p.Pin(id)
+		if err != nil {
+			v.Release()
+			return nil, err
+		}
+		v.Pages = append(v.Pages, id)
+		v.Data = append(v.Data, data)
+	}
+	return v, nil
+}
+
+// Release unpins every page of the view; the pool may then evict them.
+func (v *ChunkView) Release() {
+	for _, id := range v.Pages {
+		v.pool.Unpin(id)
+	}
+	v.Pages = nil
+	v.Data = nil
+}

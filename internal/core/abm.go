@@ -1,0 +1,491 @@
+// Package core implements the paper's primary contribution: the Cooperative
+// Scans framework, consisting of the CScan scan driver and the Active Buffer
+// Manager (ABM) that dynamically schedules chunk-granularity I/O across all
+// concurrent scans of a table.
+//
+// Four scheduling policies are provided, mirroring the paper's §3-§4 and §6:
+//
+//   - Normal: per-query strictly-sequential demand reads over an LRU pool.
+//   - Attach: circular scans; a new query attaches to the running scan with
+//     the largest remaining overlap and wraps around its own range.
+//   - Elevator: one global sequential cursor for the whole system.
+//   - Relevance: the paper's new policy, driven by per-chunk relevance
+//     functions with starvation tracking and short-query priority
+//     (Figure 3 for NSM, Figure 11 for DSM).
+//
+// All policies run against the same page-accounted buffer cache, the same
+// simulated disk, and the same CScan driver, so their differences are purely
+// the scheduling decisions — as in the paper's Cooperative Scans framework,
+// which "can run the basic normal, attach and elevator policies" next to
+// relevance.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// Policy selects the scheduling policy of an ABM instance.
+type Policy int
+
+// The four policies of the paper.
+const (
+	Normal Policy = iota
+	Attach
+	Elevator
+	Relevance
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Normal:
+		return "normal"
+	case Attach:
+		return "attach"
+	case Elevator:
+		return "elevator"
+	case Relevance:
+		return "relevance"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Policies lists all policies in presentation order.
+var Policies = []Policy{Normal, Attach, Elevator, Relevance}
+
+// Config parameterises an ABM instance.
+type Config struct {
+	// Policy is the scheduling policy.
+	Policy Policy
+	// BufferBytes is the buffer-pool capacity (the paper's NSM default is
+	// 64 chunks × 16 MB = 1 GB).
+	BufferBytes int64
+	// StarveThreshold is the available-chunk count below which a query
+	// counts as starved; the paper uses 2.
+	StarveThreshold int
+	// ElevatorWindow bounds how many loaded-but-unconsumed chunks the
+	// elevator cursor may be ahead of the slowest interested query.
+	ElevatorWindow int
+	// Prefetch is the per-query read-ahead depth of the sequential
+	// policies (normal/attach); the paper prefetches one chunk ahead.
+	Prefetch int
+	// MeasureScheduling records wall-clock time spent inside relevance
+	// decisions (for the paper's Figure 8).
+	MeasureScheduling bool
+
+	// NoShortQueryPriority disables the -chunksNeeded(q) term of
+	// queryRelevance (ablation: queries are then served round-robin-ish by
+	// waiting time alone).
+	NoShortQueryPriority bool
+	// NoWaitPromotion disables the waiting-time term of queryRelevance
+	// (ablation: long queries can starve behind a stream of short ones).
+	NoWaitPromotion bool
+
+	// DisableLoader suppresses the central loader process of the elevator
+	// and relevance policies; loads must then be driven externally. Used
+	// by white-box tests that probe the relevance functions directly.
+	DisableLoader bool
+}
+
+// Defaults fills in zero fields.
+func (c Config) withDefaults() Config {
+	if c.StarveThreshold <= 0 {
+		c.StarveThreshold = 2
+	}
+	if c.ElevatorWindow <= 0 {
+		c.ElevatorWindow = 4
+	}
+	if c.Prefetch < 0 {
+		c.Prefetch = 0
+	} else if c.Prefetch == 0 {
+		c.Prefetch = 1
+	}
+	return c
+}
+
+// SystemStats aggregates ABM-level counters over a run.
+type SystemStats struct {
+	Loads      int   // chunk-part loads performed
+	IORequests int   // disk requests issued (one per contiguous cold run)
+	BytesRead  int64 // bytes transferred for those requests
+	Evictions  int   // chunk-parts evicted
+	BufferHits int   // chunk deliveries fully served from the buffer
+}
+
+// ABM is the Active Buffer Manager: it tracks every active CScan's data
+// needs and schedules chunk loads and evictions according to the policy.
+type ABM struct {
+	env    *sim.Env
+	disk   *disk.Disk
+	layout storage.Layout
+	cfg    Config
+
+	cache   *bufcache
+	queries []*Query
+	nextID  int
+
+	// interestCount[c] is the number of registered queries that still need
+	// chunk c, maintained incrementally so relevance functions are O(1) in
+	// the common (NSM) case.
+	interestCount []int
+
+	// assembling marks parts a demand-driven scan is currently gathering
+	// into a complete chunk; eviction avoids them (the paper's §6.2
+	// "already-loaded part of the chunk is marked as used, which prohibits
+	// its eviction"). Queries release their marks when they cannot obtain
+	// buffer space, so assembly degrades to serial rather than deadlocking.
+	assembling map[partKey]int
+
+	// activity is the global "something changed" broadcast: chunk loaded,
+	// chunk consumed, query registered/unregistered. Blocked parties wake
+	// and re-examine the world; the simulation kernel makes this pattern
+	// deterministic.
+	activity *sim.Signal
+
+	closed bool
+	strat  strategy
+
+	stats SystemStats
+
+	// wall-clock scheduling cost (Figure 8).
+	schedNanos int64
+	schedCalls int64
+
+	// chunkCost is the approximate virtual-time cost of loading one chunk,
+	// used to normalise waiting time in queryRelevance.
+	chunkCost float64
+}
+
+// strategy is the per-policy behaviour behind ABM.Next.
+type strategy interface {
+	register(q *Query)
+	unregister(q *Query)
+	// next blocks until a chunk is deliverable to q and returns it with its
+	// parts pinned; ok=false means the scan has consumed its whole range.
+	next(p *sim.Proc, q *Query) (chunk int, ok bool)
+	// consumed is invoked after q releases chunk c.
+	consumed(q *Query, c int)
+}
+
+// New creates an ABM over the layout, backed by the simulated disk.
+func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
+	cfg = cfg.withDefaults()
+	a := &ABM{
+		env:           env,
+		disk:          d,
+		layout:        layout,
+		cfg:           cfg,
+		cache:         newBufcache(layout, cfg.BufferBytes),
+		interestCount: make([]int, layout.NumChunks()),
+		assembling:    make(map[partKey]int),
+	}
+	a.activity = env.NewSignal("abm-activity")
+	avg := layout.ChunkBytes(0, storage.AllCols(min(layout.Table().NumColumns(), storage.MaxColumns)))
+	a.chunkCost = d.TransferTime(maxI64(avg, 1))
+	switch cfg.Policy {
+	case Normal:
+		a.strat = &seqStrategy{a: a, attach: false}
+	case Attach:
+		a.strat = &seqStrategy{a: a, attach: true}
+	case Elevator:
+		s := &elevStrategy{a: a}
+		a.strat = s
+		if !cfg.DisableLoader {
+			env.Process("abm-elevator", s.loader)
+		}
+	case Relevance:
+		s := &relevStrategy{a: a}
+		a.strat = s
+		if !cfg.DisableLoader {
+			env.Process("abm-relevance", s.loader)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown policy %v", cfg.Policy))
+	}
+	return a
+}
+
+// Layout returns the layout the ABM schedules over.
+func (a *ABM) Layout() storage.Layout { return a.layout }
+
+// Config returns the effective configuration.
+func (a *ABM) Config() Config { return a.cfg }
+
+// NewQuery builds a Query over the given ranges and columns; it is not yet
+// registered. For NSM layouts cols is ignored and may be zero.
+func (a *ABM) NewQuery(name string, ranges storage.RangeSet, cols storage.ColSet) *Query {
+	if ranges.Empty() {
+		panic(fmt.Sprintf("core: query %q over empty range set", name))
+	}
+	if ranges.Max() >= a.layout.NumChunks() {
+		panic(fmt.Sprintf("core: query %q range %v beyond table (%d chunks)", name, ranges, a.layout.NumChunks()))
+	}
+	if a.layout.Columnar() && cols.Empty() {
+		panic(fmt.Sprintf("core: DSM query %q needs a column set", name))
+	}
+	a.nextID++
+	q := &Query{
+		ID: a.nextID, Name: name, Ranges: ranges, Cols: cols,
+		needed: make([]bool, a.layout.NumChunks()),
+		cursor: ranges.Min(),
+	}
+	ranges.Each(func(c int) { q.needed[c] = true; q.neededCount++ })
+	return q
+}
+
+// Register announces the query's data needs to the ABM (a CScan "registers
+// itself as an active scan", §4).
+func (a *ABM) Register(q *Query) {
+	if a.closed {
+		panic("core: Register on closed ABM")
+	}
+	q.enterTime = a.env.Now()
+	q.lastService = q.enterTime
+	a.queries = append(a.queries, q)
+	for c := 0; c < len(q.needed); c++ {
+		if q.needed[c] {
+			a.interestCount[c]++
+		}
+	}
+	a.strat.register(q)
+	a.activity.Broadcast()
+}
+
+// unregister removes a finished (or abandoned) query.
+func (a *ABM) unregister(q *Query) {
+	for i, o := range a.queries {
+		if o == q {
+			a.queries = append(a.queries[:i], a.queries[i+1:]...)
+			break
+		}
+	}
+	for c := 0; c < len(q.needed); c++ {
+		if q.needed[c] {
+			a.interestCount[c]--
+		}
+	}
+	a.strat.unregister(q)
+	a.activity.Broadcast()
+}
+
+// Next delivers the next chunk for q (pinned) or ok=false at end of scan.
+func (a *ABM) Next(p *sim.Proc, q *Query) (int, bool) {
+	if q.finished() {
+		return 0, false
+	}
+	return a.strat.next(p, q)
+}
+
+// Release returns chunk c after processing: parts are unpinned, the chunk
+// is marked consumed, and interested parties are woken.
+func (a *ABM) Release(q *Query, c int) {
+	for _, k := range a.cache.partsFor(a.queryCols(q), c) {
+		a.cache.unpin(k, a.env.Now())
+	}
+	q.markConsumed(c)
+	a.interestCount[c]--
+	q.lastService = a.env.Now()
+	a.strat.consumed(q, c)
+	a.activity.Broadcast()
+}
+
+// Finish completes the scan: records its end time and unregisters it.
+func (a *ABM) Finish(q *Query) Stats {
+	q.doneTime = a.env.Now()
+	a.unregister(q)
+	return q.stats()
+}
+
+// Shutdown stops central loader processes once all work is submitted and
+// finished; it must be called before the simulation can drain.
+func (a *ABM) Shutdown() {
+	a.closed = true
+	a.activity.Broadcast()
+}
+
+// Stats returns system-level counters.
+func (a *ABM) Stats() SystemStats { return a.stats }
+
+// SchedulingCost returns the cumulative wall-clock time spent in relevance
+// decisions and the number of decision calls (Figure 8); zeros unless
+// Config.MeasureScheduling is set.
+func (a *ABM) SchedulingCost() (time.Duration, int64) {
+	return time.Duration(a.schedNanos), a.schedCalls
+}
+
+// queryCols returns the parts-column set for q under this layout.
+func (a *ABM) queryCols(q *Query) storage.ColSet {
+	if !a.layout.Columnar() {
+		return 0
+	}
+	return q.Cols
+}
+
+// availableCount counts chunks that are needed by q and fully resident for
+// q's columns, stopping early at limit (starvation checks need only a few).
+// It iterates the loaded parts (bounded by the pool size) rather than the
+// table, using the query's lowest column as the anchor so each candidate
+// chunk is considered once.
+func (a *ABM) availableCount(q *Query, limit int) int {
+	cols := a.queryCols(q)
+	anchor := anchorCol(a.layout.Columnar(), cols)
+	n := 0
+	for _, pt := range a.cache.loaded {
+		if pt.key.col != anchor || pt.state != partLoaded || !q.needs(pt.key.chunk) {
+			continue
+		}
+		if cols != 0 && !a.cache.chunkLoadedFor(cols, pt.key.chunk) {
+			continue
+		}
+		n++
+		if n >= limit {
+			return n
+		}
+	}
+	return n
+}
+
+// anchorCol returns the part column that identifies a chunk's residency for
+// a query: -1 for NSM, the query's lowest column for DSM.
+func anchorCol(columnar bool, cols storage.ColSet) int {
+	if !columnar {
+		return -1
+	}
+	for c := 0; c < storage.MaxColumns; c++ {
+		if cols.Has(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+func (a *ABM) starved(q *Query) bool {
+	return a.availableCount(q, a.cfg.StarveThreshold) < a.cfg.StarveThreshold
+}
+
+func (a *ABM) almostStarved(q *Query) bool {
+	return a.availableCount(q, a.cfg.StarveThreshold+1) < a.cfg.StarveThreshold+1
+}
+
+// interested counts registered queries that still need chunk c; with a
+// non-zero overlap set, only queries whose columns overlap it count (the
+// DSM notion of an interested overlapping query).
+func (a *ABM) interested(c int, overlap storage.ColSet) int {
+	if overlap == 0 || !a.layout.Columnar() {
+		return a.interestCount[c]
+	}
+	n := 0
+	for _, q := range a.queries {
+		if q.needs(c) && q.Cols.Overlaps(overlap) {
+			n++
+		}
+	}
+	return n
+}
+
+// loadParts loads the absent parts of chunk c for cols, charging disk time
+// to process p and attributing requests to query attr (may be nil). Parts
+// are loaded smallest-first (the paper's DSM column load order). The caller
+// must have ensured buffer space. Returns the number of I/O requests issued.
+func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) int {
+	keys := a.cache.partsFor(cols, c)
+	// Smallest column first, so queries needing few columns wake earlier.
+	sortPartsBySize(a.cache, keys)
+	requests := 0
+	for _, k := range keys {
+		if a.cache.state(k) != partAbsent {
+			continue
+		}
+		runs := a.cache.coldRuns(k)
+		a.cache.beginLoad(k, a.env.Now())
+		for _, r := range runs {
+			tag := "abm"
+			if attr != nil {
+				tag = attr.Name
+			}
+			a.disk.Read(p, r.Pos, r.Size, c, tag)
+			requests++
+			a.stats.IORequests++
+			a.stats.BytesRead += r.Size
+			if attr != nil {
+				attr.ios++
+				attr.bytesRead += r.Size
+			}
+		}
+		a.cache.finishLoad(k, a.env.Now())
+		a.stats.Loads++
+		a.activity.Broadcast()
+	}
+	return requests
+}
+
+// coldBytesFor returns the cold bytes required to make chunk c resident
+// for cols.
+func (a *ABM) coldBytesFor(c int, cols storage.ColSet) int64 {
+	var n int64
+	for _, k := range a.cache.partsFor(cols, c) {
+		if a.cache.state(k) == partAbsent {
+			n += a.cache.coldBytes(k)
+		}
+	}
+	return n
+}
+
+// evictable reports whether a part may be evicted right now.
+func evictable(p *part) bool { return p.state == partLoaded && p.pins == 0 }
+
+// makeSpace evicts parts until free() >= need, choosing among evictable
+// parts that pass keep==false, ordered by the worst score first (lower
+// score = better victim). Parts under assembly are never victims. It
+// returns false if it cannot reach the target.
+func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) float64) bool {
+	for a.cache.free() < need {
+		var victim *part
+		var best float64
+		for _, p := range a.cache.loadedParts() {
+			if !evictable(p) || a.assembling[p.key] > 0 || (keep != nil && keep(p)) {
+				continue
+			}
+			s := score(p)
+			if victim == nil || s < best ||
+				(s == best && (p.key.chunk < victim.key.chunk ||
+					(p.key.chunk == victim.key.chunk && p.key.col < victim.key.col))) {
+				victim, best = p, s
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		a.cache.evict(victim.key)
+		a.stats.Evictions++
+	}
+	return true
+}
+
+// lruScore orders victims by least-recent touch.
+func lruScore(p *part) float64 { return p.lastTouch }
+
+func sortPartsBySize(b *bufcache, keys []partKey) {
+	// Insertion sort: key counts are tiny (≤ number of columns).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			si, sj := b.extentOf(keys[j]).Size, b.extentOf(keys[j-1]).Size
+			if si < sj || (si == sj && keys[j].col < keys[j-1].col) {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"coopscan/internal/storage"
+)
+
+// partKey identifies a buffered unit: a (chunk, column) pair in DSM, or a
+// whole chunk (col == -1) in NSM.
+type partKey struct {
+	chunk, col int
+}
+
+func (k partKey) String() string {
+	if k.col < 0 {
+		return fmt.Sprintf("c%d", k.chunk)
+	}
+	return fmt.Sprintf("c%d/col%d", k.chunk, k.col)
+}
+
+type partState int
+
+const (
+	partAbsent partState = iota
+	partLoading
+	partLoaded
+)
+
+// part is the cache's bookkeeping for one buffered unit.
+type part struct {
+	key       partKey
+	state     partState
+	pins      int     // hard pins while a query processes the chunk
+	loadedAt  float64 // virtual time the load completed
+	lastTouch float64 // last load or consumption, for LRU
+}
+
+// bufcache is the buffer pool underneath all policies. It accounts space at
+// page granularity so DSM chunks whose extents share boundary pages do not
+// double-count, and so loading a chunk next to an already-buffered one reads
+// fewer cold bytes — the logical-chunk/physical-page mismatch of paper §6.1.
+type bufcache struct {
+	layout    storage.Layout
+	pageBytes int64
+	capBytes  int64
+	usedBytes int64
+
+	pageRefs map[int64]int     // device page index -> #loaded parts using it
+	parts    map[partKey]*part // all non-absent parts
+	loaded   []*part           // stable-order slice of loaded/loading parts
+}
+
+func newBufcache(layout storage.Layout, capBytes int64) *bufcache {
+	pageBytes := int64(0)
+	if d, ok := layout.(*storage.DSMLayout); ok {
+		pageBytes = d.PageBytes()
+	} else {
+		// NSM: one "page" per chunk; any chunk's size works as the unit.
+		pageBytes = layout.ChunkBytes(0, 0)
+	}
+	if capBytes < pageBytes {
+		panic(fmt.Sprintf("core: buffer capacity %d smaller than one page (%d)", capBytes, pageBytes))
+	}
+	return &bufcache{
+		layout:    layout,
+		pageBytes: pageBytes,
+		capBytes:  capBytes,
+		pageRefs:  make(map[int64]int),
+		parts:     make(map[partKey]*part),
+	}
+}
+
+// partsFor returns the parts query cols need for chunk c: per-column in
+// DSM, a single col==-1 part in NSM.
+func (b *bufcache) partsFor(cols storage.ColSet, c int) []partKey {
+	if !b.layout.Columnar() {
+		return []partKey{{chunk: c, col: -1}}
+	}
+	out := make([]partKey, 0, cols.Count())
+	cols.Each(func(col int) { out = append(out, partKey{chunk: c, col: col}) })
+	return out
+}
+
+// extentOf returns the single disk extent backing a part.
+func (b *bufcache) extentOf(k partKey) storage.Extent {
+	if k.col < 0 {
+		return b.layout.Extents(k.chunk, 0)[0]
+	}
+	ex := b.layout.Extents(k.chunk, storage.Cols(k.col))
+	return ex[0]
+}
+
+// pageRange returns the device-global page index range of a part.
+func (b *bufcache) pageRange(k partKey) (first, last int64) {
+	e := b.extentOf(k)
+	first = e.Pos / b.pageBytes
+	last = (e.Pos + e.Size + b.pageBytes - 1) / b.pageBytes
+	return first, last
+}
+
+func (b *bufcache) state(k partKey) partState {
+	if p, ok := b.parts[k]; ok {
+		return p.state
+	}
+	return partAbsent
+}
+
+// chunkLoadedFor reports whether chunk c is fully resident for cols. It is
+// allocation-free: a hot path for starvation checks and chunk selection.
+func (b *bufcache) chunkLoadedFor(cols storage.ColSet, c int) bool {
+	if !b.layout.Columnar() {
+		return b.state(partKey{chunk: c, col: -1}) == partLoaded
+	}
+	for v := uint64(cols); v != 0; v &= v - 1 {
+		col := bits.TrailingZeros64(v)
+		if b.state(partKey{chunk: c, col: col}) != partLoaded {
+			return false
+		}
+	}
+	return true
+}
+
+// coldBytes returns how many bytes of the part are not yet buffered.
+func (b *bufcache) coldBytes(k partKey) int64 {
+	first, last := b.pageRange(k)
+	var n int64
+	for pg := first; pg < last; pg++ {
+		if b.pageRefs[pg] == 0 {
+			n += b.pageBytes
+		}
+	}
+	return n
+}
+
+// coldRuns returns the contiguous cold page runs of a part as disk extents;
+// each run costs one I/O request.
+func (b *bufcache) coldRuns(k partKey) []storage.Extent {
+	first, last := b.pageRange(k)
+	var out []storage.Extent
+	runStart := int64(-1)
+	for pg := first; pg <= last; pg++ {
+		cold := pg < last && b.pageRefs[pg] == 0
+		if cold && runStart < 0 {
+			runStart = pg
+		}
+		if !cold && runStart >= 0 {
+			out = append(out, storage.Extent{
+				Col: k.col, Pos: runStart * b.pageBytes, Size: (pg - runStart) * b.pageBytes,
+			})
+			runStart = -1
+		}
+	}
+	return out
+}
+
+// beginLoad transitions a part to loading; callers must have verified space.
+func (b *bufcache) beginLoad(k partKey, now float64) *part {
+	if b.state(k) != partAbsent {
+		panic(fmt.Sprintf("core: beginLoad(%v) in state %d", k, b.state(k)))
+	}
+	p := &part{key: k, state: partLoading, lastTouch: now}
+	b.parts[k] = p
+	b.loaded = append(b.loaded, p)
+	// Reserve the pages up front so concurrent space checks see the demand.
+	first, last := b.pageRange(k)
+	for pg := first; pg < last; pg++ {
+		if b.pageRefs[pg] == 0 {
+			b.usedBytes += b.pageBytes
+		}
+		b.pageRefs[pg]++
+	}
+	return p
+}
+
+// finishLoad marks a loading part resident.
+func (b *bufcache) finishLoad(k partKey, now float64) {
+	p := b.parts[k]
+	if p == nil || p.state != partLoading {
+		panic(fmt.Sprintf("core: finishLoad(%v) not loading", k))
+	}
+	p.state = partLoaded
+	p.loadedAt = now
+	p.lastTouch = now
+}
+
+// evict removes a loaded, unpinned part and returns the bytes freed.
+func (b *bufcache) evict(k partKey) int64 {
+	p := b.parts[k]
+	if p == nil || p.state != partLoaded || p.pins > 0 {
+		panic(fmt.Sprintf("core: evict(%v): not evictable", k))
+	}
+	delete(b.parts, k)
+	for i, lp := range b.loaded {
+		if lp == p {
+			b.loaded = append(b.loaded[:i], b.loaded[i+1:]...)
+			break
+		}
+	}
+	var freed int64
+	first, last := b.pageRange(k)
+	for pg := first; pg < last; pg++ {
+		b.pageRefs[pg]--
+		if b.pageRefs[pg] == 0 {
+			delete(b.pageRefs, pg)
+			b.usedBytes -= b.pageBytes
+			freed += b.pageBytes
+		}
+	}
+	return freed
+}
+
+// pin and unpin guard a part against eviction while a query processes it.
+func (b *bufcache) pin(k partKey) {
+	p := b.parts[k]
+	if p == nil || p.state != partLoaded {
+		panic(fmt.Sprintf("core: pin(%v): not loaded", k))
+	}
+	p.pins++
+}
+
+func (b *bufcache) unpin(k partKey, now float64) {
+	p := b.parts[k]
+	if p == nil || p.pins <= 0 {
+		panic(fmt.Sprintf("core: unpin(%v): not pinned", k))
+	}
+	p.pins--
+	p.lastTouch = now
+}
+
+// touch refreshes LRU recency (a buffer hit).
+func (b *bufcache) touch(k partKey, now float64) {
+	if p := b.parts[k]; p != nil {
+		p.lastTouch = now
+	}
+}
+
+// free returns the unreserved capacity in bytes.
+func (b *bufcache) free() int64 { return b.capBytes - b.usedBytes }
+
+// loadedParts returns the internal slice of loading/loaded parts in a
+// deterministic (insertion/compaction) order; callers must not modify it.
+func (b *bufcache) loadedParts() []*part { return b.loaded }

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// testSystem bundles the simulation substrate for policy tests: a disk where
+// one 1 MB chunk transfers in 0.1 s (plus 10 ms seek) and a 2-core CPU.
+type testSystem struct {
+	env *sim.Env
+	dsk *disk.Disk
+	cpu *sim.Resource
+	abm *ABM
+}
+
+func newTestSystem(t *testing.T, layout storage.Layout, policy Policy, bufferChunks int) *testSystem {
+	t.Helper()
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 10 << 20, SeekTime: 10e-3})
+	var bufBytes int64
+	if layout.Columnar() {
+		bufBytes = int64(bufferChunks) * layout.ChunkBytes(0, storage.AllCols(layout.Table().NumColumns()))
+	} else {
+		bufBytes = int64(bufferChunks) * layout.ChunkBytes(0, 0)
+	}
+	abm := New(env, d, layout, Config{Policy: policy, BufferBytes: bufBytes})
+	return &testSystem{env: env, dsk: d, cpu: env.NewResource("cpu", 2), abm: abm}
+}
+
+// runQueries launches the given scans (name, ranges, cols, start delay, cpu
+// per chunk), waits for all to finish, shuts the ABM down and returns stats
+// in launch order.
+type scanSpec struct {
+	name   string
+	ranges storage.RangeSet
+	cols   storage.ColSet
+	delay  float64
+	cpu    float64 // seconds per chunk
+}
+
+func (ts *testSystem) runQueries(t *testing.T, specs []scanSpec) []Stats {
+	t.Helper()
+	results := make([]Stats, len(specs))
+	remaining := len(specs)
+	for i, spec := range specs {
+		i, spec := i, spec
+		ts.env.ProcessAt(spec.name, spec.delay, func(p *sim.Proc) {
+			q := ts.abm.NewQuery(spec.name, spec.ranges, spec.cols)
+			results[i] = RunCScan(p, ts.abm, q, ScanOptions{
+				CPU:  ts.cpu,
+				Cost: func(int, int64) float64 { return spec.cpu },
+			})
+			remaining--
+			if remaining == 0 {
+				ts.abm.Shutdown()
+			}
+		})
+	}
+	if err := ts.env.Run(0); err != nil {
+		t.Fatalf("simulation did not drain: %v", err)
+	}
+	return results
+}
+
+func fullRange(l storage.Layout) storage.RangeSet {
+	return storage.NewRangeSet(storage.Range{Start: 0, End: l.NumChunks()})
+}
+
+func TestSingleQueryAllPolicies(t *testing.T) {
+	for _, pol := range Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			l := nsmTestLayout(20)
+			ts := newTestSystem(t, l, pol, 8)
+			res := ts.runQueries(t, []scanSpec{
+				{name: "q", ranges: fullRange(l), cpu: 0.02},
+			})
+			if res[0].Chunks != 20 {
+				t.Errorf("chunks = %d, want 20", res[0].Chunks)
+			}
+			st := ts.abm.Stats()
+			if st.IORequests != 20 {
+				t.Errorf("I/O requests = %d, want 20", st.IORequests)
+			}
+			// A lone scan is I/O bound here (0.1s transfer vs 0.02s CPU):
+			// latency should be near 20×~0.11s, well under the unpipelined
+			// sum 20×0.13.
+			lat := res[0].Latency()
+			if lat > 20*0.13 {
+				t.Errorf("latency = %v, too slow (no I/O-CPU overlap?)", lat)
+			}
+			if lat < 20*0.1 {
+				t.Errorf("latency = %v, impossibly fast", lat)
+			}
+		})
+	}
+}
+
+func TestNormalDuplicatesIOsForStaggeredScans(t *testing.T) {
+	l := nsmTestLayout(30)
+	ts := newTestSystem(t, l, Normal, 4) // small pool: no reuse across 3s
+	res := ts.runQueries(t, []scanSpec{
+		{name: "q1", ranges: fullRange(l), cpu: 0.02},
+		{name: "q2", ranges: fullRange(l), delay: 3.0, cpu: 0.02},
+	})
+	st := ts.abm.Stats()
+	if st.IORequests < 55 {
+		t.Errorf("I/O requests = %d, want ~60 (no sharing under normal)", st.IORequests)
+	}
+	for _, r := range res {
+		if r.Chunks != 30 {
+			t.Errorf("%s consumed %d chunks", r.Query, r.Chunks)
+		}
+	}
+}
+
+func TestAttachSharesWithRunningScan(t *testing.T) {
+	l := nsmTestLayout(30)
+	run := func(policy Policy) int {
+		ts := newTestSystem(t, l, policy, 6)
+		ts.runQueries(t, []scanSpec{
+			{name: "q1", ranges: fullRange(l), cpu: 0.02},
+			{name: "q2", ranges: fullRange(l), delay: 1.0, cpu: 0.02},
+		})
+		return ts.abm.Stats().IORequests
+	}
+	normal, attach := run(Normal), run(Attach)
+	if attach >= normal {
+		t.Errorf("attach issued %d I/Os, normal %d: attach should share", attach, normal)
+	}
+	if attach > 40 {
+		t.Errorf("attach issued %d I/Os, want close to 30 (one shared sweep + catch-up)", attach)
+	}
+}
+
+func TestElevatorSingleSweep(t *testing.T) {
+	l := nsmTestLayout(30)
+	ts := newTestSystem(t, l, Elevator, 6)
+	res := ts.runQueries(t, []scanSpec{
+		{name: "q1", ranges: fullRange(l), cpu: 0.02},
+		{name: "q2", ranges: fullRange(l), delay: 0.5, cpu: 0.02},
+	})
+	st := ts.abm.Stats()
+	// q2 misses the first ~5 chunks and picks them up on wrap: ≈35 loads.
+	if st.IORequests > 40 {
+		t.Errorf("elevator I/O requests = %d, want ≈30-36", st.IORequests)
+	}
+	for _, r := range res {
+		if r.Chunks != 30 {
+			t.Errorf("%s consumed %d chunks", r.Query, r.Chunks)
+		}
+	}
+}
+
+func TestElevatorShortRangeWaitsForCursor(t *testing.T) {
+	// A range query at the start of the table entering while the cursor is
+	// past it must wait for the wrap: this is elevator's latency weakness.
+	l := nsmTestLayout(40)
+	ts := newTestSystem(t, l, Elevator, 8)
+	res := ts.runQueries(t, []scanSpec{
+		{name: "long", ranges: fullRange(l), cpu: 0.05},
+		{name: "short", ranges: storage.NewRangeSet(storage.Range{Start: 0, End: 4}), delay: 1.0, cpu: 0.01},
+	})
+	shortRes := res[1]
+	if shortRes.Chunks != 4 {
+		t.Fatalf("short consumed %d chunks", shortRes.Chunks)
+	}
+	// The cursor is around chunk ~8 at t=1; short must wait for the sweep
+	// to cover the rest of the table first.
+	if shortRes.Latency() < 1.0 {
+		t.Errorf("short latency %v suspiciously small for elevator", shortRes.Latency())
+	}
+}
+
+func TestRelevanceServesShortQueryFirst(t *testing.T) {
+	l := nsmTestLayout(40)
+	run := func(policy Policy) (shortLat, longLat float64) {
+		ts := newTestSystem(t, l, policy, 8)
+		res := ts.runQueries(t, []scanSpec{
+			{name: "long", ranges: fullRange(l), cpu: 0.05},
+			{name: "short", ranges: storage.NewRangeSet(storage.Range{Start: 20, End: 24}), delay: 1.0, cpu: 0.01},
+		})
+		return res[1].Latency(), res[0].Latency()
+	}
+	elevShort, _ := run(Elevator)
+	relShort, _ := run(Relevance)
+	if relShort >= elevShort {
+		t.Errorf("relevance short-query latency %v should beat elevator %v", relShort, elevShort)
+	}
+}
+
+func TestRelevanceSharesIOs(t *testing.T) {
+	l := nsmTestLayout(30)
+	run := func(policy Policy) int {
+		ts := newTestSystem(t, l, policy, 6)
+		ts.runQueries(t, []scanSpec{
+			{name: "q1", ranges: fullRange(l), cpu: 0.02},
+			{name: "q2", ranges: fullRange(l), delay: 1.0, cpu: 0.02},
+			{name: "q3", ranges: fullRange(l), delay: 2.0, cpu: 0.02},
+		})
+		return ts.abm.Stats().IORequests
+	}
+	normal, rel := run(Normal), run(Relevance)
+	if rel >= normal {
+		t.Errorf("relevance I/Os %d should be below normal %d", rel, normal)
+	}
+}
+
+func TestRelevanceCompletesMixedSpeedMix(t *testing.T) {
+	l := nsmTestLayout(50)
+	ts := newTestSystem(t, l, Relevance, 10)
+	specs := []scanSpec{
+		{name: "f-full", ranges: fullRange(l), cpu: 0.01},
+		{name: "s-full", ranges: fullRange(l), delay: 0.5, cpu: 0.2},
+		{name: "f-mid", ranges: storage.NewRangeSet(storage.Range{Start: 10, End: 35}), delay: 1.0, cpu: 0.01},
+		{name: "s-short", ranges: storage.NewRangeSet(storage.Range{Start: 40, End: 45}), delay: 1.5, cpu: 0.2},
+	}
+	res := ts.runQueries(t, specs)
+	want := []int{50, 50, 25, 5}
+	for i, r := range res {
+		if r.Chunks != want[i] {
+			t.Errorf("%s consumed %d chunks, want %d", r.Query, r.Chunks, want[i])
+		}
+		if r.Done <= r.Enter {
+			t.Errorf("%s has non-positive latency", r.Query)
+		}
+	}
+}
+
+func TestMultiRangeScan(t *testing.T) {
+	for _, pol := range Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			l := nsmTestLayout(30)
+			ts := newTestSystem(t, l, pol, 8)
+			ranges := storage.NewRangeSet(
+				storage.Range{Start: 2, End: 6},
+				storage.Range{Start: 12, End: 14},
+				storage.Range{Start: 25, End: 30},
+			)
+			res := ts.runQueries(t, []scanSpec{{name: "multi", ranges: ranges, cpu: 0.02}})
+			if res[0].Chunks != ranges.Len() {
+				t.Errorf("consumed %d chunks, want %d", res[0].Chunks, ranges.Len())
+			}
+			if got := ts.abm.Stats().IORequests; got != ranges.Len() {
+				t.Errorf("I/O requests = %d, want %d", got, ranges.Len())
+			}
+		})
+	}
+}
+
+func TestSmallBufferForcesEviction(t *testing.T) {
+	l := nsmTestLayout(30)
+	ts := newTestSystem(t, l, Normal, 2)
+	ts.runQueries(t, []scanSpec{{name: "q", ranges: fullRange(l), cpu: 0.0}})
+	st := ts.abm.Stats()
+	if st.Evictions < 25 {
+		t.Errorf("evictions = %d, want ~28 with a 2-chunk pool", st.Evictions)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, pol := range Policies {
+		run := func() string {
+			l := nsmTestLayout(25)
+			ts := newTestSystem(t, l, pol, 5)
+			res := ts.runQueries(t, []scanSpec{
+				{name: "a", ranges: fullRange(l), cpu: 0.03},
+				{name: "b", ranges: storage.NewRangeSet(storage.Range{Start: 5, End: 20}), delay: 0.7, cpu: 0.11},
+				{name: "c", ranges: storage.NewRangeSet(storage.Range{Start: 0, End: 10}), delay: 1.3, cpu: 0.02},
+			})
+			s := ""
+			for _, r := range res {
+				s += fmt.Sprintf("%s:%d:%d:%.6f;", r.Query, r.Chunks, r.IOs, r.Latency())
+			}
+			return s + fmt.Sprintf("%+v", ts.abm.Stats())
+		}
+		first := run()
+		for i := 0; i < 3; i++ {
+			if got := run(); got != first {
+				t.Fatalf("%v: run %d diverged:\n%s\nvs\n%s", pol, i, got, first)
+			}
+		}
+	}
+}
+
+func TestDSMColumnSharing(t *testing.T) {
+	l := dsmTestLayout(20, 6)
+	run := func(colsA, colsB storage.ColSet) int64 {
+		ts := newTestSystem(t, l, Relevance, 10)
+		ts.runQueries(t, []scanSpec{
+			{name: "qa", ranges: fullRange(l), cols: colsA, cpu: 0.02},
+			{name: "qb", ranges: fullRange(l), cols: colsB, delay: 0.3, cpu: 0.02},
+		})
+		return ts.abm.Stats().BytesRead
+	}
+	overlap := run(storage.Cols(0, 1, 2), storage.Cols(0, 1, 2))
+	disjoint := run(storage.Cols(0, 1, 2), storage.Cols(3, 4, 5))
+	if overlap >= disjoint {
+		t.Errorf("identical-column scans read %d bytes, disjoint %d: expected sharing", overlap, disjoint)
+	}
+}
+
+func TestDSMOnlyRequestedColumnsRead(t *testing.T) {
+	l := dsmTestLayout(10, 4)
+	ts := newTestSystem(t, l, Normal, 8)
+	ts.runQueries(t, []scanSpec{
+		{name: "narrow", ranges: fullRange(l), cols: storage.Cols(1), cpu: 0.0},
+	})
+	// Column 1 is the 1-byte column: 10 chunks × 100 kB ≈ 1 MB; reading the
+	// whole table would be ~26 MB.
+	if got := ts.abm.Stats().BytesRead; got > 2<<20 {
+		t.Errorf("read %d bytes for a narrow column scan", got)
+	}
+}
+
+func TestDSMAllPoliciesComplete(t *testing.T) {
+	for _, pol := range Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			l := dsmTestLayout(15, 4)
+			ts := newTestSystem(t, l, pol, 10)
+			res := ts.runQueries(t, []scanSpec{
+				{name: "q1", ranges: fullRange(l), cols: storage.Cols(0, 1), cpu: 0.02},
+				{name: "q2", ranges: storage.NewRangeSet(storage.Range{Start: 5, End: 15}), cols: storage.Cols(1, 2), delay: 0.4, cpu: 0.05},
+				{name: "q3", ranges: storage.NewRangeSet(storage.Range{Start: 0, End: 8}), cols: storage.Cols(3), delay: 0.8, cpu: 0.01},
+			})
+			want := []int{15, 10, 8}
+			for i, r := range res {
+				if r.Chunks != want[i] {
+					t.Errorf("%s consumed %d, want %d", r.Query, r.Chunks, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStatsPlausibility(t *testing.T) {
+	l := nsmTestLayout(20)
+	ts := newTestSystem(t, l, Relevance, 6)
+	res := ts.runQueries(t, []scanSpec{
+		{name: "a", ranges: fullRange(l), cpu: 0.02},
+		{name: "b", ranges: fullRange(l), delay: 0.2, cpu: 0.02},
+	})
+	st := ts.abm.Stats()
+	if st.BytesRead != int64(st.IORequests)<<20 {
+		t.Errorf("bytes %d inconsistent with %d 1MB requests", st.BytesRead, st.IORequests)
+	}
+	sumIOs := 0
+	for _, r := range res {
+		sumIOs += r.IOs
+	}
+	if sumIOs != st.IORequests {
+		t.Errorf("per-query I/Os %d != system total %d", sumIOs, st.IORequests)
+	}
+	ds := ts.dsk.Stats()
+	if ds.Requests != st.IORequests {
+		t.Errorf("disk requests %d != abm requests %d", ds.Requests, st.IORequests)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	l := nsmTestLayout(10)
+	ts := newTestSystem(t, l, Normal, 4)
+	for name, f := range map[string]func(){
+		"empty ranges": func() { ts.abm.NewQuery("x", storage.NewRangeSet(), 0) },
+		"out of range": func() {
+			ts.abm.NewQuery("x", storage.NewRangeSet(storage.Range{Start: 0, End: 11}), 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	dl := dsmTestLayout(4, 2)
+	ds := newTestSystem(t, dl, Normal, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DSM query without columns should panic")
+			}
+		}()
+		ds.abm.NewQuery("x", fullRange(dl), 0)
+	}()
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{Normal: "normal", Attach: "attach", Elevator: "elevator", Relevance: "relevance"}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should stringify")
+	}
+}
+
+func TestNormalizedLatencyBaseline(t *testing.T) {
+	// A query running alone with a cold buffer defines the normalisation
+	// baseline; rerunning it must give the same latency (determinism) and
+	// concurrent runs must never beat it by much (sanity).
+	l := nsmTestLayout(20)
+	solo := func() float64 {
+		ts := newTestSystem(t, l, Normal, 6)
+		res := ts.runQueries(t, []scanSpec{{name: "q", ranges: fullRange(l), cpu: 0.02}})
+		return res[0].Latency()
+	}
+	if math.Abs(solo()-solo()) > 1e-12 {
+		t.Error("solo baseline not reproducible")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"coopscan/internal/sim"
+)
+
+// CostModel returns the CPU seconds a query spends processing one chunk;
+// the workload package calibrates FAST (Q6-like) and SLOW (Q1-like) models
+// against the layout's tuples-per-chunk.
+type CostModel func(chunk int, tuples int64) float64
+
+// ScanOptions configures one CScan execution.
+type ScanOptions struct {
+	// CPU, when non-nil, is the core pool processing time is charged to.
+	CPU *sim.Resource
+	// Cost is the per-chunk CPU cost model; nil means zero CPU cost.
+	Cost CostModel
+	// Quantum, when positive, charges CPU in slices of at most this many
+	// seconds, modelling preemptive time-sharing: without it a long chunk
+	// computation would hold a core in one FIFO grant and short queries
+	// would see unrealistic CPU queueing.
+	Quantum float64
+	// OnChunk, when non-nil, observes every delivered chunk in delivery
+	// order (e.g. to drive real query execution over generated data).
+	OnChunk func(chunk int)
+}
+
+// RunCScan registers q, consumes its whole range under the ABM's policy,
+// charging CPU per chunk, and returns the query's statistics. It must be
+// called from within a simulation process.
+func RunCScan(p *sim.Proc, a *ABM, q *Query, opts ScanOptions) Stats {
+	a.Register(q)
+	for {
+		c, ok := a.Next(p, q)
+		if !ok {
+			break
+		}
+		if opts.OnChunk != nil {
+			opts.OnChunk(c)
+		}
+		if opts.Cost != nil {
+			if d := opts.Cost(c, a.layout.ChunkTuples(c)); d > 0 {
+				chargeCPU(p, opts.CPU, d, opts.Quantum)
+			}
+		}
+		a.Release(q, c)
+	}
+	return a.Finish(q)
+}
+
+// chargeCPU consumes d seconds of one core, optionally in preemption-sized
+// quanta so concurrent queries interleave fairly.
+func chargeCPU(p *sim.Proc, cpu *sim.Resource, d, quantum float64) {
+	if cpu == nil {
+		p.Wait(d)
+		return
+	}
+	if quantum <= 0 || quantum >= d {
+		cpu.Use(p, 1, d)
+		return
+	}
+	for remaining := d; remaining > 0; remaining -= quantum {
+		slice := quantum
+		if remaining < slice {
+			slice = remaining
+		}
+		cpu.Use(p, 1, slice)
+	}
+}

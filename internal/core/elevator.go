@@ -1,0 +1,195 @@
+package core
+
+import (
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// elevStrategy implements the elevator policy of §3: a single, strictly
+// sequential reading cursor for the entire system. The loader process sweeps
+// the table in chunk order, loading each chunk that any active query still
+// needs (with the union of needed columns in DSM), and only runs ahead of
+// the slowest interested query by a bounded window — which is precisely why
+// "query speed degenerates to the speed of the slowest query".
+type elevStrategy struct {
+	a      *ABM
+	cursor int
+	// outstanding tracks loader-loaded chunks that some query recorded at
+	// load time has not yet consumed; such chunks are protected from
+	// eviction and bound the cursor's progress.
+	outstanding []*elevEntry
+}
+
+type elevEntry struct {
+	chunk   int
+	waiting []*Query
+}
+
+func (s *elevStrategy) register(q *Query)   {}
+func (s *elevStrategy) unregister(q *Query) { s.dropQuery(q) }
+
+func (s *elevStrategy) dropQuery(q *Query) {
+	for i := 0; i < len(s.outstanding); {
+		e := s.outstanding[i]
+		e.remove(q)
+		if len(e.waiting) == 0 {
+			s.outstanding = append(s.outstanding[:i], s.outstanding[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+func (e *elevEntry) remove(q *Query) {
+	for i, w := range e.waiting {
+		if w == q {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *elevStrategy) consumed(q *Query, c int) {
+	for i, e := range s.outstanding {
+		if e.chunk != c {
+			continue
+		}
+		e.remove(q)
+		if len(e.waiting) == 0 {
+			s.outstanding = append(s.outstanding[:i], s.outstanding[i+1:]...)
+		}
+		return
+	}
+}
+
+func (s *elevStrategy) outstandingChunk(c int) bool {
+	for _, e := range s.outstanding {
+		if e.chunk == c {
+			return true
+		}
+	}
+	return false
+}
+
+// next delivers loader-loaded chunks in load (cursor) order; if none of the
+// outstanding chunks is q's, any other resident needed chunk (a leftover
+// from earlier in the sweep) is used as a buffer hit.
+func (s *elevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
+	a := s.a
+	cols := a.queryCols(q)
+	for {
+		if q.finished() {
+			return 0, false
+		}
+		chunk := -1
+		for _, e := range s.outstanding {
+			if q.needs(e.chunk) && a.cache.chunkLoadedFor(cols, e.chunk) {
+				chunk = e.chunk
+				break
+			}
+		}
+		if chunk < 0 {
+			for c := 0; c < len(q.needed); c++ {
+				if q.needed[c] && a.cache.chunkLoadedFor(cols, c) {
+					chunk = c
+					a.stats.BufferHits++
+					break
+				}
+			}
+		}
+		if chunk >= 0 {
+			for _, k := range a.cache.partsFor(cols, chunk) {
+				a.cache.pin(k)
+				a.cache.touch(k, a.env.Now())
+			}
+			q.lastService = a.env.Now()
+			return chunk, true
+		}
+		q.blocked = true
+		a.activity.Wait(p)
+		q.blocked = false
+	}
+}
+
+// nextToLoad finds the next chunk in cursor order that some query needs and
+// that requires I/O, together with the union of needed columns.
+func (s *elevStrategy) nextToLoad() (int, storage.ColSet, bool) {
+	a := s.a
+	n := a.layout.NumChunks()
+	for off := 0; off < n; off++ {
+		c := (s.cursor + off) % n
+		var cols storage.ColSet
+		interested := false
+		for _, q := range a.queries {
+			if q.needs(c) {
+				interested = true
+				cols = cols.Union(q.Cols)
+			}
+		}
+		if !interested {
+			continue
+		}
+		needsIO := false
+		for _, k := range a.cache.partsFor(a.colsOrNSM(cols), c) {
+			if a.cache.state(k) == partAbsent {
+				needsIO = true
+				break
+			}
+		}
+		if needsIO {
+			return c, cols, true
+		}
+	}
+	return 0, 0, false
+}
+
+// colsOrNSM collapses a column set to the NSM pseudo-column when the layout
+// is row-wise.
+func (a *ABM) colsOrNSM(cols storage.ColSet) storage.ColSet {
+	if !a.layout.Columnar() {
+		return 0
+	}
+	return cols
+}
+
+func (s *elevStrategy) loader(p *sim.Proc) {
+	a := s.a
+	for !a.closed {
+		if len(a.queries) == 0 || len(s.outstanding) >= a.cfg.ElevatorWindow {
+			a.activity.Wait(p)
+			continue
+		}
+		c, cols, ok := s.nextToLoad()
+		if !ok {
+			a.activity.Wait(p)
+			continue
+		}
+		loadCols := a.colsOrNSM(cols)
+		need := a.coldBytesFor(c, loadCols)
+		if a.cache.free() < need {
+			keep := func(pt *part) bool { return s.outstandingChunk(pt.key.chunk) }
+			if !a.makeSpace(need, keep, lruScore) {
+				a.activity.Wait(p)
+				continue
+			}
+		}
+		// Record the interested queries before the load: they are the ones
+		// the elevator waits for before letting the chunk go.
+		entry := &elevEntry{chunk: c}
+		var attr *Query
+		for _, q := range a.queries {
+			if q.needs(c) {
+				entry.waiting = append(entry.waiting, q)
+				if attr == nil {
+					attr = q
+				}
+			}
+		}
+		s.outstanding = append(s.outstanding, entry)
+		a.loadParts(p, c, loadCols, attr)
+		s.cursor = (c + 1) % a.layout.NumChunks()
+		// Let the signalled queries pin the chunk before the next load's
+		// eviction pass runs.
+		p.Wait(0)
+	}
+}

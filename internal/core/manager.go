@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// Manager routes cooperative scans across multiple (large) tables that
+// share one disk and one buffer budget — the paper's §7.1 requirement that
+// "a production-quality implementation of CScan should be able to keep
+// track of multiple tables, keeping separate statistics and meta-data for
+// each". Each table gets its own ABM (its own chunk map, query registry and
+// policy state); the shared device arbitrates between them, and the buffer
+// budget is partitioned proportionally to table size.
+//
+// Small tables should not go through cooperative scanning at all (§7.1:
+// "for small tables CScan should simply fall back on Scan"); the manager
+// exposes that decision via UseCScan.
+type Manager struct {
+	env *sim.Env
+	dsk *disk.Disk
+	cfg Config
+
+	// SmallTableChunks is the threshold below which UseCScan recommends a
+	// plain Scan; such tables are expected to stay fully buffered.
+	SmallTableChunks int
+
+	tables map[string]*ABM
+	order  []string
+}
+
+// NewManager creates an empty manager; tables are attached with Attach.
+func NewManager(env *sim.Env, d *disk.Disk, cfg Config) *Manager {
+	return &Manager{
+		env: env, dsk: d, cfg: cfg,
+		SmallTableChunks: 4,
+		tables:           make(map[string]*ABM),
+	}
+}
+
+// Attach registers a table layout under its table name and creates its ABM
+// with a slice of the buffer budget proportional to the table's share of
+// the total footprint (recomputing shares would require re-registration;
+// production systems resize pools dynamically, which §7.1 notes ABM can do
+// when "the system-wide load changes").
+func (m *Manager) Attach(layout storage.Layout, bufferBytes int64) *ABM {
+	name := layout.Table().Name
+	if _, ok := m.tables[name]; ok {
+		panic(fmt.Sprintf("core: table %q already attached", name))
+	}
+	cfg := m.cfg
+	cfg.BufferBytes = bufferBytes
+	a := New(m.env, m.dsk, layout, cfg)
+	m.tables[name] = a
+	m.order = append(m.order, name)
+	return a
+}
+
+// For returns the ABM managing the named table.
+func (m *Manager) For(table string) (*ABM, bool) {
+	a, ok := m.tables[table]
+	return a, ok
+}
+
+// Tables returns the attached table names in attach order.
+func (m *Manager) Tables() []string { return append([]string(nil), m.order...) }
+
+// UseCScan reports whether a scan of the named table should go through the
+// cooperative machinery; small tables fall back to plain scans.
+func (m *Manager) UseCScan(table string) bool {
+	a, ok := m.tables[table]
+	if !ok {
+		return false
+	}
+	return a.layout.NumChunks() > m.SmallTableChunks
+}
+
+// Shutdown stops every table's loader processes.
+func (m *Manager) Shutdown() {
+	for _, name := range m.order {
+		m.tables[name].Shutdown()
+	}
+}
+
+// Stats sums the per-table counters.
+func (m *Manager) Stats() SystemStats {
+	var total SystemStats
+	for _, name := range m.order {
+		s := m.tables[name].Stats()
+		total.Loads += s.Loads
+		total.IORequests += s.IORequests
+		total.BytesRead += s.BytesRead
+		total.Evictions += s.Evictions
+		total.BufferHits += s.BufferHits
+	}
+	return total
+}
+
+// SplitBuffer divides a total buffer budget across layouts proportionally
+// to their on-disk footprint, with a floor of minBytes each; it is the
+// helper Attach callers typically use.
+func SplitBuffer(total int64, minBytes int64, layouts ...storage.Layout) []int64 {
+	if len(layouts) == 0 {
+		return nil
+	}
+	sizes := make([]int64, len(layouts))
+	var sum int64
+	for i, l := range layouts {
+		var bytes int64
+		if d, ok := l.(*storage.DSMLayout); ok {
+			bytes = d.TotalBytes()
+		} else {
+			bytes = int64(l.NumChunks()) * l.ChunkBytes(0, 0)
+		}
+		sizes[i] = bytes
+		sum += bytes
+	}
+	out := make([]int64, len(layouts))
+	var assigned int64
+	for i := range layouts {
+		share := int64(float64(total) * float64(sizes[i]) / float64(sum))
+		if share < minBytes {
+			share = minBytes
+		}
+		out[i] = share
+		assigned += share
+	}
+	// If the floors overflowed the budget, the caller asked for too little
+	// buffer; scale the shares down proportionally but keep the floor.
+	if assigned > total {
+		for i := range out {
+			scaled := int64(float64(out[i]) * float64(total) / float64(assigned))
+			if scaled < minBytes {
+				scaled = minBytes
+			}
+			out[i] = scaled
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+func TestManagerRoutesTables(t *testing.T) {
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 10 << 20, SeekTime: 5e-3})
+	m := NewManager(env, d, Config{Policy: Relevance})
+
+	big := nsmTestLayout(40)
+	big.Table().Name = "facts"
+	small := nsmTestLayout(2)
+	small.Table().Name = "dims"
+
+	shares := SplitBuffer(16<<20, 2<<20, big, small)
+	if len(shares) != 2 || shares[0] <= shares[1] {
+		t.Fatalf("shares = %v, want big table to get more", shares)
+	}
+	aBig := m.Attach(big, shares[0])
+	aSmall := m.Attach(small, shares[1])
+
+	if got, ok := m.For("facts"); !ok || got != aBig {
+		t.Error("For(facts) wrong")
+	}
+	if got, ok := m.For("dims"); !ok || got != aSmall {
+		t.Error("For(dims) wrong")
+	}
+	if _, ok := m.For("nope"); ok {
+		t.Error("unknown table resolved")
+	}
+	if !m.UseCScan("facts") {
+		t.Error("large table should use CScan")
+	}
+	if m.UseCScan("dims") {
+		t.Error("small table should fall back to Scan (§7.1)")
+	}
+	if m.UseCScan("nope") {
+		t.Error("unknown table should not use CScan")
+	}
+	if got := m.Tables(); len(got) != 2 || got[0] != "facts" {
+		t.Errorf("Tables = %v", got)
+	}
+
+	// Concurrent scans on both tables share one disk; both complete.
+	cpu := env.NewResource("cpu", 2)
+	done := 0
+	run := func(name string, a *ABM, layout storage.Layout) {
+		env.Process(name, func(p *sim.Proc) {
+			q := a.NewQuery(name, storage.NewRangeSet(storage.Range{Start: 0, End: layout.NumChunks()}), 0)
+			st := RunCScan(p, a, q, ScanOptions{CPU: cpu, Cost: func(int, int64) float64 { return 0.01 }})
+			if st.Chunks != layout.NumChunks() {
+				t.Errorf("%s consumed %d chunks", name, st.Chunks)
+			}
+			done++
+			if done == 2 {
+				m.Shutdown()
+			}
+		})
+	}
+	run("scan-facts", aBig, big)
+	run("scan-dims", aSmall, small)
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	total := m.Stats()
+	if total.IORequests != 42 {
+		t.Errorf("combined I/O requests = %d, want 42", total.IORequests)
+	}
+	if ds := d.Stats(); ds.Requests != total.IORequests {
+		t.Errorf("disk saw %d requests, manager counted %d", ds.Requests, total.IORequests)
+	}
+}
+
+func TestManagerDoubleAttachPanics(t *testing.T) {
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 10 << 20})
+	m := NewManager(env, d, Config{Policy: Normal})
+	l := nsmTestLayout(4)
+	m.Attach(l, 4<<20)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Attach(l, 4<<20)
+}
+
+func TestSplitBufferProportionsAndFloor(t *testing.T) {
+	a := nsmTestLayout(30) // 30 MB
+	b := nsmTestLayout(10) // 10 MB
+	shares := SplitBuffer(40<<20, 1<<20, a, b)
+	if shares[0] != 30<<20 || shares[1] != 10<<20 {
+		t.Errorf("proportional split = %v", shares)
+	}
+	// Floor dominates tiny shares.
+	tiny := nsmTestLayout(1)
+	shares = SplitBuffer(32<<20, 4<<20, a, tiny)
+	if shares[1] < 4<<20 {
+		t.Errorf("floor violated: %v", shares)
+	}
+	// Overflowing floors still returns sane values.
+	shares = SplitBuffer(3<<20, 2<<20, a, b)
+	for i, s := range shares {
+		if s < 2<<20 {
+			t.Errorf("share %d below floor: %d", i, s)
+		}
+	}
+	if SplitBuffer(1<<20, 1<<20) != nil {
+		t.Error("no layouts should give nil")
+	}
+}
+
+func TestManagerMixedLayoutKinds(t *testing.T) {
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 50 << 20, SeekTime: 1e-3})
+	m := NewManager(env, d, Config{Policy: Relevance})
+	row := nsmTestLayout(10)
+	row.Table().Name = "rowtab"
+	col := dsmTestLayout(10, 4)
+	col.Table().Name = "coltab"
+	shares := SplitBuffer(256<<20, 8<<20, row, col)
+	aRow := m.Attach(row, shares[0])
+	aCol := m.Attach(col, shares[1])
+	cpu := env.NewResource("cpu", 2)
+	done := 0
+	env.Process("r", func(p *sim.Proc) {
+		q := aRow.NewQuery("r", storage.NewRangeSet(storage.Range{Start: 0, End: 10}), 0)
+		RunCScan(p, aRow, q, ScanOptions{CPU: cpu})
+		if done++; done == 2 {
+			m.Shutdown()
+		}
+	})
+	env.Process("c", func(p *sim.Proc) {
+		q := aCol.NewQuery("c", storage.NewRangeSet(storage.Range{Start: 0, End: 10}), storage.Cols(0, 1))
+		RunCScan(p, aCol, q, ScanOptions{CPU: cpu})
+		if done++; done == 2 {
+			m.Shutdown()
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().IORequests == 0 {
+		t.Error("no I/O recorded")
+	}
+	_ = fmt.Sprint(m.Stats())
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// Query is one registered CScan: a scan over a set of chunk ranges (and, in
+// DSM, a set of columns) that is willing to accept chunks in any order the
+// policy chooses.
+type Query struct {
+	ID   int
+	Name string
+	// Ranges is the set of chunks the scan must deliver (possibly pruned to
+	// multiple ranges by zonemaps).
+	Ranges storage.RangeSet
+	// Cols is the set of columns read (DSM); NSM layouts ignore it.
+	Cols storage.ColSet
+
+	// needed[c] is true while chunk c still has to be consumed.
+	needed      []bool
+	neededCount int
+
+	enterTime   float64
+	doneTime    float64
+	lastService float64 // last time a chunk was delivered (for aging)
+
+	// stats
+	ios       int
+	bytesRead int64
+	consumed  int
+
+	blocked bool
+	wakeup  *sim.Signal
+
+	// cursor state for the sequential policies (normal/attach).
+	cursor      int
+	attachPoint int  // first chunk taken when attaching
+	wrapped     bool // whether the cursor wrapped past the range end
+}
+
+func (q *Query) String() string {
+	return fmt.Sprintf("%s(id=%d, %s, cols=%v)", q.Name, q.ID, q.Ranges, q.Cols)
+}
+
+// needs reports whether chunk c still has to be consumed by q.
+func (q *Query) needs(c int) bool {
+	return c >= 0 && c < len(q.needed) && q.needed[c]
+}
+
+// markConsumed flips chunk c to consumed.
+func (q *Query) markConsumed(c int) {
+	if !q.needs(c) {
+		panic(fmt.Sprintf("core: %s consumed chunk %d it does not need", q.Name, c))
+	}
+	q.needed[c] = false
+	q.neededCount--
+	q.consumed++
+}
+
+// remaining returns the number of chunks still to consume.
+func (q *Query) remaining() int { return q.neededCount }
+
+// done reports whether the scan has consumed everything.
+func (q *Query) finished() bool { return q.neededCount == 0 }
+
+// remainingSet materialises the still-needed chunks as a RangeSet (used by
+// attach overlap estimation).
+func (q *Query) remainingSet() storage.RangeSet {
+	var ranges []storage.Range
+	start := -1
+	for c := 0; c < len(q.needed); c++ {
+		if q.needed[c] && start < 0 {
+			start = c
+		}
+		if !q.needed[c] && start >= 0 {
+			ranges = append(ranges, storage.Range{Start: start, End: c})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		ranges = append(ranges, storage.Range{Start: start, End: len(q.needed)})
+	}
+	return storage.NewRangeSet(ranges...)
+}
+
+// Stats is the per-query outcome reported after a scan completes.
+type Stats struct {
+	Query     string
+	Enter     float64 // virtual time the scan registered
+	Done      float64 // virtual time the scan finished
+	Chunks    int     // chunks consumed
+	IOs       int     // disk requests issued on this query's behalf
+	BytesRead int64   // bytes those requests transferred
+}
+
+// Latency returns Done-Enter.
+func (s Stats) Latency() float64 { return s.Done - s.Enter }
+
+// stats snapshots the query's counters.
+func (q *Query) stats() Stats {
+	return Stats{
+		Query: q.Name, Enter: q.enterTime, Done: q.doneTime,
+		Chunks: q.consumed, IOs: q.ios, BytesRead: q.bytesRead,
+	}
+}

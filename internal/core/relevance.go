@@ -1,0 +1,386 @@
+package core
+
+import (
+	"time"
+
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// qMax is the paper's Qmax constant: an upper bound on concurrent queries
+// used to lexicographically combine relevance terms.
+const qMax = 1024.0
+
+// relevStrategy implements the relevance policy (§4 Figure 3 for NSM,
+// §6.2 Figure 11 for DSM). A central ABM loader process repeatedly picks the
+// highest-priority starved query (queryRelevance), the most valuable chunk
+// to load for it (loadRelevance), and victims to evict (keepRelevance);
+// the CScan side picks which available chunk to consume (useRelevance).
+type relevStrategy struct {
+	a *ABM
+
+	// Per-decision-round caches of query starvation, refreshed at the top
+	// of each loader iteration (and eviction pass): starvation checks are
+	// the hot path of every relevance function.
+	starvedCache []bool
+	almostCache  []bool
+}
+
+// refreshStarvation recomputes the starvation caches for the current set of
+// registered queries.
+func (s *relevStrategy) refreshStarvation() {
+	a := s.a
+	s.starvedCache = s.starvedCache[:0]
+	s.almostCache = s.almostCache[:0]
+	for _, q := range a.queries {
+		avail := a.availableCount(q, a.cfg.StarveThreshold+1)
+		s.starvedCache = append(s.starvedCache, avail < a.cfg.StarveThreshold)
+		s.almostCache = append(s.almostCache, avail < a.cfg.StarveThreshold+1)
+	}
+}
+
+func (s *relevStrategy) register(q *Query)    {}
+func (s *relevStrategy) unregister(q *Query)  {}
+func (s *relevStrategy) consumed(*Query, int) {}
+
+// ---- CScan side -----------------------------------------------------------
+
+// next implements selectChunk/chooseAvailableChunk of Figure 3.
+func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
+	a := s.a
+	for {
+		if q.finished() {
+			return 0, false
+		}
+		c := s.chooseAvailable(q)
+		if c >= 0 {
+			cols := a.queryCols(q)
+			for _, k := range a.cache.partsFor(cols, c) {
+				a.cache.pin(k)
+				a.cache.touch(k, a.env.Now())
+			}
+			q.lastService = a.env.Now()
+			return c, true
+		}
+		// waitForChunk: the ABM loader is woken by the broadcasts that
+		// accompany every registration, release and load completion.
+		q.blocked = true
+		a.activity.Wait(p)
+		q.blocked = false
+	}
+}
+
+// chooseAvailable returns the resident needed chunk with the highest
+// useRelevance, or -1 if none is available. Candidates come from the loaded
+// parts (bounded by the pool), not a table scan.
+func (s *relevStrategy) chooseAvailable(q *Query) int {
+	a := s.a
+	start := time.Time{}
+	if a.cfg.MeasureScheduling {
+		start = time.Now()
+	}
+	cols := a.queryCols(q)
+	anchor := anchorCol(a.layout.Columnar(), cols)
+	best, bestScore := -1, 0.0
+	for _, pt := range a.cache.loaded {
+		c := pt.key.chunk
+		if pt.key.col != anchor || pt.state != partLoaded || !q.needs(c) {
+			continue
+		}
+		if cols != 0 && !a.cache.chunkLoadedFor(cols, c) {
+			continue
+		}
+		score := s.useRelevance(c, q)
+		if best < 0 || score > bestScore || (score == bestScore && c < best) {
+			best, bestScore = c, score
+		}
+	}
+	if a.cfg.MeasureScheduling {
+		a.schedNanos += time.Since(start).Nanoseconds()
+		a.schedCalls++
+	}
+	return best
+}
+
+// useRelevance promotes chunks needed by few queries, so that the least
+// shareable data is consumed (and becomes evictable) first. The DSM variant
+// (Figure 11) additionally promotes chunks occupying more buffer space.
+func (s *relevStrategy) useRelevance(c int, q *Query) float64 {
+	a := s.a
+	if !a.layout.Columnar() {
+		return qMax - float64(a.interested(c, 0))
+	}
+	u := float64(a.interested(c, q.Cols))
+	if u < 1 {
+		u = 1
+	}
+	pu := float64(s.cachedBytes(c, q.Cols))
+	return pu / u
+}
+
+// cachedBytes sums the resident bytes of chunk c over cols.
+func (s *relevStrategy) cachedBytes(c int, cols storage.ColSet) int64 {
+	var n int64
+	for _, k := range s.a.cache.partsFor(cols, c) {
+		if s.a.cache.state(k) == partLoaded {
+			n += s.a.cache.extentOf(k).Size
+		}
+	}
+	return n
+}
+
+// ---- ABM loader side ------------------------------------------------------
+
+func (s *relevStrategy) loader(p *sim.Proc) {
+	a := s.a
+	for !a.closed {
+		start := time.Time{}
+		if a.cfg.MeasureScheduling {
+			start = time.Now()
+		}
+		q, c, cols := s.chooseWork()
+		if a.cfg.MeasureScheduling {
+			a.schedNanos += time.Since(start).Nanoseconds()
+			a.schedCalls++
+		}
+		if q == nil {
+			// blockForNextQuery: nothing is starved (or nothing loadable).
+			a.activity.Wait(p)
+			continue
+		}
+		need := a.coldBytesFor(c, cols)
+		if a.cache.free() < need && !s.makeSpaceRelevance(need, q) {
+			a.activity.Wait(p)
+			continue
+		}
+		a.loadParts(p, c, cols, q)
+		// Yield for one tick so the queries just signalled can pin the
+		// chunk before the next decision round considers evicting it.
+		p.Wait(0)
+	}
+}
+
+// chooseWork combines chooseQueryToProcess and chooseChunkToLoad: starved
+// queries are ranked by queryRelevance, and the best loadable chunk of the
+// best query wins; if the best query has nothing loadable (everything in
+// flight), the next query is considered.
+func (s *relevStrategy) chooseWork() (*Query, int, storage.ColSet) {
+	a := s.a
+	s.refreshStarvation()
+	type cand struct {
+		q   *Query
+		rel float64
+	}
+	var cands []cand
+	for i, q := range a.queries {
+		if !s.starvedCache[i] {
+			continue
+		}
+		cands = append(cands, cand{q, s.queryRelevance(q)})
+	}
+	// Sort by relevance descending, registration order as tie-break.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].rel > cands[j-1].rel; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, cd := range cands {
+		if c, cols, ok := s.chooseChunkToLoad(cd.q); ok {
+			return cd.q, c, cols
+		}
+	}
+	return nil, -1, 0
+}
+
+// queryRelevance prioritises starved queries that need little more data,
+// promoting those that have waited long so large scans cannot starve
+// forever (Figure 3). Waiting time is normalised by the cost of one chunk
+// load and by the number of running queries.
+func (s *relevStrategy) queryRelevance(q *Query) float64 {
+	a := s.a
+	rel := 0.0
+	if !a.cfg.NoShortQueryPriority {
+		rel -= float64(q.remaining())
+	}
+	if !a.cfg.NoWaitPromotion {
+		wait := (a.env.Now() - q.lastService) / a.chunkCost
+		rel += wait / float64(len(a.queries))
+	}
+	return rel
+}
+
+// chooseChunkToLoad returns the chunk with the highest loadRelevance among
+// the query's needed, not-resident, not-in-flight chunks, plus the column
+// set to load.
+func (s *relevStrategy) chooseChunkToLoad(q *Query) (int, storage.ColSet, bool) {
+	a := s.a
+	best, ok := -1, false
+	bestScore := 0.0
+	var bestCols storage.ColSet
+	for c := 0; c < len(q.needed); c++ {
+		if !q.needed[c] {
+			continue
+		}
+		loadable, inFlight := s.loadState(q, c)
+		if !loadable || inFlight {
+			continue
+		}
+		score, cols := s.loadRelevance(c, q)
+		if !ok || score > bestScore {
+			best, bestScore, bestCols, ok = c, score, cols, true
+		}
+	}
+	return best, a.colsOrNSM(bestCols), ok
+}
+
+// loadState reports whether chunk c still needs I/O for q and whether any
+// of its parts is currently being loaded.
+func (s *relevStrategy) loadState(q *Query, c int) (needsIO, inFlight bool) {
+	for _, k := range s.a.cache.partsFor(s.a.queryCols(q), c) {
+		switch s.a.cache.state(k) {
+		case partAbsent:
+			needsIO = true
+		case partLoading:
+			inFlight = true
+		}
+	}
+	return needsIO, inFlight
+}
+
+// loadRelevance scores a load candidate. NSM (Figure 3): chunks needed by
+// many starved queries dominate, with total interest as the tie-breaker.
+// DSM (Figure 11): starved-queries-served per cold byte, loading the union
+// of the overlapping starved queries' columns.
+func (s *relevStrategy) loadRelevance(c int, q *Query) (float64, storage.ColSet) {
+	a := s.a
+	if !a.layout.Columnar() {
+		nStarved := 0
+		for i, o := range a.queries {
+			if o.needs(c) && s.starvedCache[i] {
+				nStarved++
+			}
+		}
+		return float64(nStarved)*qMax + float64(a.interestCount[c]), 0
+	}
+	cols := q.Cols
+	l := 0
+	for i, o := range a.queries {
+		if s.starvedCache[i] && o.needs(c) && o.Cols.Overlaps(q.Cols) {
+			l++
+			cols = cols.Union(o.Cols)
+		}
+	}
+	pl := float64(a.coldBytesFor(c, cols))
+	if pl < 1 {
+		pl = 1
+	}
+	return float64(l) / pl, cols
+}
+
+// ---- eviction --------------------------------------------------------------
+
+// makeSpaceRelevance frees need bytes following §4/§6.2: never evict pinned
+// parts, parts of chunks the triggering query needs, or chunks useful to a
+// starved query; among the rest, evict the lowest keepRelevance first. In
+// DSM, column parts useless to every interested query go first, and chunk
+// eviction is iterative. If the guarded pass cannot free enough and every
+// query is blocked (a DSM corner the paper's greedy approach misses), a
+// final pass relaxes the usefulness guard to avoid deadlock.
+func (s *relevStrategy) makeSpaceRelevance(need int64, trigger *Query) bool {
+	a := s.a
+	start := time.Time{}
+	if a.cfg.MeasureScheduling {
+		start = time.Now()
+	}
+	defer func() {
+		if a.cfg.MeasureScheduling {
+			a.schedNanos += time.Since(start).Nanoseconds()
+			a.schedCalls++
+		}
+	}()
+
+	if a.layout.Columnar() {
+		// First pass: evict column parts no interested query uses.
+		for _, pt := range append([]*part(nil), a.cache.loadedParts()...) {
+			if a.cache.free() >= need {
+				return true
+			}
+			if evictable(pt) && s.colUseless(pt.key) {
+				a.cache.evict(pt.key)
+				a.stats.Evictions++
+			}
+		}
+	}
+
+	s.refreshStarvation()
+	guard := func(pt *part) bool {
+		return trigger.needs(pt.key.chunk) || s.usefulForStarved(pt.key.chunk)
+	}
+	if a.makeSpace(need, guard, s.keepRelevanceScore) {
+		return true
+	}
+	for _, q := range a.queries {
+		if !q.blocked {
+			return false // progress is still possible; wait instead
+		}
+	}
+	relaxed := func(pt *part) bool { return trigger.needs(pt.key.chunk) }
+	if a.makeSpace(need, relaxed, s.keepRelevanceScore) {
+		return true
+	}
+	// Last resort, still with every query blocked: evict anything unpinned
+	// (even chunks the trigger needs) — without this, a buffer filled
+	// entirely with the trigger's own partial chunks wedges the loader.
+	return a.makeSpace(need, nil, s.keepRelevanceScore)
+}
+
+// colUseless reports whether no registered query that needs the chunk reads
+// this column.
+func (s *relevStrategy) colUseless(k partKey) bool {
+	for _, q := range s.a.queries {
+		if q.needs(k.chunk) && (k.col < 0 || q.Cols.Has(k.col)) {
+			return false
+		}
+	}
+	return true
+}
+
+// usefulForStarved reports whether a strictly starved query still needs c.
+func (s *relevStrategy) usefulForStarved(c int) bool {
+	for i, q := range s.a.queries {
+		if q.needs(c) && s.starvedCache[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// keepRelevanceScore is the eviction score: lower evicts first. NSM
+// (Figure 3): almost-starved interest dominates, total interest breaks
+// ties. DSM (Figure 11): almost-starved queries served per cached byte.
+func (s *relevStrategy) keepRelevanceScore(pt *part) float64 {
+	a := s.a
+	c := pt.key.chunk
+	if !a.layout.Columnar() {
+		nAlmost := 0
+		for i, q := range a.queries {
+			if q.needs(c) && s.almostCache[i] {
+				nAlmost++
+			}
+		}
+		return float64(nAlmost)*qMax + float64(a.interestCount[c])
+	}
+	var cols storage.ColSet
+	e := 0
+	for i, q := range a.queries {
+		if q.needs(c) && s.almostCache[i] {
+			e++
+			cols = cols.Union(q.Cols)
+		}
+	}
+	pe := float64(s.cachedBytes(c, cols))
+	if pe < 1 {
+		pe = 1
+	}
+	return float64(e) / pe
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// seqStrategy implements the two sequential-delivery policies of §3:
+//
+//   - normal: each query reads its chunks strictly in range order through
+//     an LRU buffer pool; concurrent scans interleave at the disk.
+//   - attach: a new query first looks for the running scan with the largest
+//     remaining overlap and starts reading at that scan's current position,
+//     wrapping around to pick up the skipped prefix afterwards ("circular
+//     scans" as in SQLServer, RedBrick and Teradata).
+//
+// Both are demand-driven: the query process itself issues the chunk loads,
+// with a small asynchronous read-ahead so CPU work overlaps I/O.
+type seqStrategy struct {
+	a      *ABM
+	attach bool
+}
+
+func (s *seqStrategy) register(q *Query) {
+	q.cursor = q.Ranges.Min()
+	if !s.attach {
+		return
+	}
+	// Attach to the overlapping query with the largest remaining overlap.
+	best, bestScore := (*Query)(nil), 0.0
+	mine := q.remainingSet()
+	for _, other := range s.a.queries {
+		if other == q {
+			continue
+		}
+		overlap := float64(mine.OverlapLen(other.remainingSet()))
+		if overlap == 0 {
+			continue
+		}
+		if s.a.layout.Columnar() {
+			// Weight chunk overlap by the physical size of the shared
+			// columns (the paper's refined page-per-chunk measure); queries
+			// with no shared columns share no I/O at all.
+			shared := q.Cols.Intersect(other.Cols)
+			if shared.Empty() {
+				continue
+			}
+			weight := 0.0
+			dsm := s.a.layout.(*storage.DSMLayout)
+			shared.Each(func(col int) { weight += dsm.ColumnBytesPerChunk(col) })
+			overlap *= weight
+		}
+		if overlap > bestScore {
+			best, bestScore = other, overlap
+		}
+	}
+	if best != nil {
+		// Start at the position the attached-to scan will read next.
+		if c, ok := q.Ranges.NextFrom(best.cursor); ok {
+			q.cursor = c
+		}
+	}
+	q.attachPoint = q.cursor
+}
+
+func (s *seqStrategy) unregister(*Query) {}
+
+func (s *seqStrategy) consumed(*Query, int) {}
+
+// nextSeqChunk returns the next chunk in (possibly wrapped) range order.
+func nextSeqChunk(q *Query) (int, bool) {
+	for c := q.cursor; c < len(q.needed); c++ {
+		if q.needed[c] {
+			return c, true
+		}
+	}
+	// Wrap: consume the prefix skipped when attaching mid-scan.
+	for c := 0; c < q.cursor; c++ {
+		if q.needed[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func (s *seqStrategy) next(p *sim.Proc, q *Query) (int, bool) {
+	c, ok := nextSeqChunk(q)
+	if !ok {
+		return 0, false
+	}
+	hit := s.a.ensureChunkDemand(p, q, c)
+	cols := s.a.queryCols(q)
+	for _, k := range s.a.cache.partsFor(cols, c) {
+		s.a.cache.pin(k)
+		s.a.cache.touch(k, s.a.env.Now())
+	}
+	if hit {
+		s.a.stats.BufferHits++
+	}
+	q.cursor = c + 1
+	s.prefetch(q)
+	return c, true
+}
+
+// prefetch fires asynchronous read-ahead for the next chunks in q's order.
+// Read-ahead never blocks: if the pool has no space that plain LRU eviction
+// can free, it is simply skipped.
+func (s *seqStrategy) prefetch(q *Query) {
+	cursor := q.cursor
+	for i := 0; i < s.a.cfg.Prefetch; i++ {
+		c, ok := nextFrom(q, cursor)
+		if !ok {
+			return
+		}
+		cursor = c + 1
+		cols := s.a.queryCols(q)
+		if s.chunkResidentOrLoading(c, cols) {
+			continue
+		}
+		s.a.env.Process(fmt.Sprintf("prefetch-%s-%d", q.Name, c), func(hp *sim.Proc) {
+			s.a.prefetchChunk(hp, q, c)
+		})
+	}
+}
+
+// nextFrom is nextSeqChunk with an explicit start position.
+func nextFrom(q *Query, from int) (int, bool) {
+	for c := from; c < len(q.needed); c++ {
+		if q.needed[c] {
+			return c, true
+		}
+	}
+	for c := 0; c < from && c < len(q.needed); c++ {
+		if q.needed[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func (s *seqStrategy) chunkResidentOrLoading(c int, cols storage.ColSet) bool {
+	for _, k := range s.a.cache.partsFor(cols, c) {
+		if s.a.cache.state(k) == partAbsent {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureChunkDemand makes chunk c fully resident for q's columns on q's own
+// behalf, blocking while other scans finish in-flight loads, and evicting
+// LRU victims when the pool is full. It reports whether the chunk was a
+// pure buffer hit (no I/O issued by this call).
+func (a *ABM) ensureChunkDemand(p *sim.Proc, q *Query, c int) bool {
+	cols := a.queryCols(q)
+	keys := a.cache.partsFor(cols, c)
+	mark := func() {
+		for _, k := range keys {
+			a.assembling[k]++
+		}
+	}
+	unmark := func() {
+		for _, k := range keys {
+			if a.assembling[k]--; a.assembling[k] == 0 {
+				delete(a.assembling, k)
+			}
+		}
+	}
+	mark()
+	defer unmark()
+	hit := true
+	for {
+		// If any part is being loaded by another scan, wait for it: this is
+		// exactly how two co-positioned normal scans end up sharing a read.
+		loading := false
+		absent := false
+		for _, k := range a.cache.partsFor(cols, c) {
+			switch a.cache.state(k) {
+			case partLoading:
+				loading = true
+			case partAbsent:
+				absent = true
+			}
+		}
+		if loading {
+			a.activity.Wait(p)
+			continue
+		}
+		if !absent {
+			return hit
+		}
+		need := a.coldBytesFor(c, cols)
+		if a.cache.free() < need {
+			if !a.makeSpace(need, nil, lruScore) {
+				// No victims: abandon our assembly marks so a competing
+				// scan can finish its chunk, and retry on the next event.
+				// Chunk assembly degrades to (partially) serial under
+				// severe buffer pressure instead of thrashing.
+				unmark()
+				a.activity.Wait(p)
+				mark()
+				continue
+			}
+		}
+		hit = false
+		a.loadParts(p, c, cols, q)
+		// Re-check rather than return: while this scan's disk reads were in
+		// flight, another scan's eviction may have removed a part of this
+		// chunk that was already resident (multi-column chunks only).
+	}
+}
+
+// prefetchChunk is the non-blocking read-ahead body.
+func (a *ABM) prefetchChunk(p *sim.Proc, q *Query, c int) {
+	if !q.needs(c) {
+		return // consumed meanwhile
+	}
+	cols := a.queryCols(q)
+	for _, k := range a.cache.partsFor(cols, c) {
+		if a.cache.state(k) == partLoading {
+			return // someone else is already on it
+		}
+	}
+	need := a.coldBytesFor(c, cols)
+	if need == 0 {
+		return
+	}
+	if a.cache.free() < need && !a.makeSpace(need, nil, lruScore) {
+		return // no space without blocking: skip the read-ahead
+	}
+	a.loadParts(p, c, cols, q)
+}

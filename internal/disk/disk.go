@@ -1,0 +1,167 @@
+// Package disk models a disk subsystem under the simulation clock of
+// internal/sim. The model follows the Cooperative Scans paper's benchmark
+// hardware: a RAID delivering a fixed sequential bandwidth, where scan I/O
+// is issued in large multi-page chunks so that arm movement is amortised.
+//
+// A read costs size/bandwidth seconds of transfer plus a seek penalty that
+// is charged only when the request does not physically continue the previous
+// one (sequential-run detection). Requests from concurrent scans serialise
+// FIFO at the device, which is exactly what makes interleaved "normal"
+// scans expensive and shared scans cheap.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"coopscan/internal/sim"
+)
+
+// Params describes the device.
+type Params struct {
+	// Bandwidth is the sequential transfer rate in bytes/second.
+	Bandwidth float64
+	// SeekTime is charged per non-sequential request, in seconds. It
+	// subsumes arm movement and rotational latency, amortised over the
+	// RAID stripe as in the paper's 4-way RAID.
+	SeekTime float64
+	// RequestOverhead is a fixed per-request cost in seconds (request
+	// submission, scatter-gather setup). May be zero.
+	RequestOverhead float64
+}
+
+// DefaultParams mirrors the paper's benchmark storage: slightly over
+// 200 MB/s sequential, a few milliseconds of seek.
+func DefaultParams() Params {
+	return Params{
+		Bandwidth:       210e6,
+		SeekTime:        8e-3,
+		RequestOverhead: 0.5e-3,
+	}
+}
+
+// TraceEntry records one completed request, for Figure-4 style plots of
+// disk accesses over time.
+type TraceEntry struct {
+	Start float64 // virtual time the transfer began (after queueing)
+	End   float64 // virtual time the transfer completed
+	Pos   int64   // starting byte offset
+	Size  int64   // bytes transferred
+	Chunk int     // logical chunk id (-1 if not chunk-addressed)
+	Tag   string  // requester label, e.g. query name or "abm"
+	Seek  bool    // whether a seek was charged
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Requests  int     // number of read requests issued
+	Seeks     int     // requests that paid a seek
+	Bytes     int64   // total bytes transferred
+	BusyTime  float64 // seconds the device spent transferring or seeking
+	QueueTime float64 // seconds requests spent waiting for the device
+}
+
+// Disk is a simulated device. Create with New; issue reads from sim
+// processes with Read.
+type Disk struct {
+	env    *sim.Env
+	params Params
+	dev    *sim.Resource
+
+	nextPos int64 // byte offset that would continue the current run
+	stats   Stats
+
+	trace     []TraceEntry
+	traceOn   bool
+	traceCap  int
+	overflown bool
+}
+
+// New creates a disk on env with the given parameters.
+func New(env *sim.Env, p Params) *Disk {
+	if p.Bandwidth <= 0 || math.IsNaN(p.Bandwidth) {
+		panic(fmt.Sprintf("disk: invalid bandwidth %v", p.Bandwidth))
+	}
+	if p.SeekTime < 0 || p.RequestOverhead < 0 {
+		panic("disk: negative seek or overhead")
+	}
+	return &Disk{env: env, params: p, dev: env.NewResource("disk", 1), nextPos: -1}
+}
+
+// EnableTrace starts recording completed requests, keeping at most max
+// entries (0 means unbounded).
+func (d *Disk) EnableTrace(max int) {
+	d.traceOn = true
+	d.traceCap = max
+	d.trace = nil
+	d.overflown = false
+}
+
+// Trace returns recorded entries. TraceOverflowed reports whether entries
+// were dropped because the cap was reached.
+func (d *Disk) Trace() []TraceEntry   { return d.trace }
+func (d *Disk) TraceOverflowed() bool { return d.overflown }
+
+// Read transfers size bytes starting at byte offset pos on behalf of
+// process p. chunk and tag annotate the trace. The call blocks (in virtual
+// time) until the transfer completes and returns the time spent from issue
+// to completion, including device queueing.
+func (d *Disk) Read(p *sim.Proc, pos, size int64, chunk int, tag string) float64 {
+	if size <= 0 || pos < 0 {
+		panic(fmt.Sprintf("disk: Read(pos=%d, size=%d)", pos, size))
+	}
+	issued := d.env.Now()
+	d.dev.Acquire(p, 1)
+	start := d.env.Now()
+	d.stats.QueueTime += start - issued
+
+	seek := pos != d.nextPos
+	cost := float64(size)/d.params.Bandwidth + d.params.RequestOverhead
+	if seek {
+		cost += d.params.SeekTime
+		d.stats.Seeks++
+	}
+	p.Wait(cost)
+	d.nextPos = pos + size
+	d.stats.Requests++
+	d.stats.Bytes += size
+	d.stats.BusyTime += cost
+	if d.traceOn && (d.traceCap == 0 || len(d.trace) < d.traceCap) {
+		d.trace = append(d.trace, TraceEntry{
+			Start: start, End: d.env.Now(), Pos: pos, Size: size,
+			Chunk: chunk, Tag: tag, Seek: seek,
+		})
+	} else if d.traceOn {
+		d.overflown = true
+	}
+	d.dev.Release(1)
+	return d.env.Now() - issued
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats clears statistics and the trace but keeps the head position.
+func (d *Disk) ResetStats() {
+	d.stats = Stats{}
+	d.trace = nil
+	d.overflown = false
+}
+
+// Utilisation returns the fraction of virtual time (since t=0) the device
+// was busy.
+func (d *Disk) Utilisation() float64 {
+	if d.env.Now() == 0 {
+		return 0
+	}
+	return d.stats.BusyTime / d.env.Now()
+}
+
+// TransferTime returns the pure sequential-transfer cost of size bytes,
+// without seek or queueing; useful for calibrating query cost models.
+func (d *Disk) TransferTime(size int64) float64 {
+	return float64(size)/d.params.Bandwidth + d.params.RequestOverhead
+}
+
+// Params returns the device parameters.
+func (d *Disk) Params() Params { return d.params }

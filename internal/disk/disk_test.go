@@ -1,0 +1,190 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"coopscan/internal/sim"
+)
+
+func testParams() Params {
+	return Params{Bandwidth: 100e6, SeekTime: 10e-3, RequestOverhead: 0}
+}
+
+func TestSequentialReadsPayOneSeek(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, testParams())
+	env.Process("q", func(p *sim.Proc) {
+		d.Read(p, 0, 100e6, 0, "q")     // seek + 1s transfer
+		d.Read(p, 100e6, 100e6, 1, "q") // sequential: no seek
+		d.Read(p, 300e6, 100e6, 3, "q") // gap: seek
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Requests != 3 {
+		t.Errorf("requests = %d, want 3", s.Requests)
+	}
+	if s.Seeks != 2 {
+		t.Errorf("seeks = %d, want 2", s.Seeks)
+	}
+	want := 3.0 + 2*10e-3
+	if math.Abs(env.Now()-want) > 1e-9 {
+		t.Errorf("elapsed = %v, want %v", env.Now(), want)
+	}
+	if s.Bytes != 300e6 {
+		t.Errorf("bytes = %d, want 3e8", s.Bytes)
+	}
+}
+
+func TestConcurrentReadersSerialise(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, testParams())
+	var doneA, doneB float64
+	env.Process("a", func(p *sim.Proc) {
+		d.Read(p, 0, 100e6, 0, "a")
+		doneA = p.Now()
+	})
+	env.Process("b", func(p *sim.Proc) {
+		d.Read(p, 500e6, 100e6, 5, "b")
+		doneB = p.Now()
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !(doneA < doneB) {
+		t.Errorf("expected a before b, got a=%v b=%v", doneA, doneB)
+	}
+	// b waited for a's full transfer, then paid its own seek+transfer.
+	want := (1.0 + 10e-3) + (1.0 + 10e-3)
+	if math.Abs(doneB-want) > 1e-9 {
+		t.Errorf("b done at %v, want %v", doneB, want)
+	}
+	if q := d.Stats().QueueTime; math.Abs(q-(1.0+10e-3)) > 1e-9 {
+		t.Errorf("queue time = %v, want %v", q, 1.0+10e-3)
+	}
+}
+
+func TestInterleavedVersusSharedPattern(t *testing.T) {
+	// The motivating effect: two queries scanning the same 10 chunks cost
+	// half the I/O when they share reads.
+	const chunk = 16e6
+	run := func(shared bool) float64 {
+		env := sim.NewEnv()
+		d := New(env, testParams())
+		if shared {
+			env.Process("both", func(p *sim.Proc) {
+				for i := 0; i < 10; i++ {
+					d.Read(p, int64(i)*chunk, chunk, i, "both")
+				}
+			})
+		} else {
+			for _, q := range []string{"a", "b"} {
+				q := q
+				env.Process(q, func(p *sim.Proc) {
+					for i := 0; i < 10; i++ {
+						d.Read(p, int64(i)*chunk, chunk, i, q)
+					}
+				})
+			}
+		}
+		if err := env.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return env.Now()
+	}
+	apart, together := run(false), run(true)
+	if together*1.8 > apart {
+		t.Errorf("shared scan should cost ~half: shared=%v separate=%v", together, apart)
+	}
+}
+
+func TestTraceRecordsRequests(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, testParams())
+	d.EnableTrace(2)
+	env.Process("q", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d.Read(p, int64(i)*16e6, 16e6, i, "q")
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d, want 2 (capped)", len(tr))
+	}
+	if !d.TraceOverflowed() {
+		t.Error("expected trace overflow flag")
+	}
+	if tr[0].Chunk != 0 || tr[1].Chunk != 1 {
+		t.Errorf("trace chunks = %d,%d want 0,1", tr[0].Chunk, tr[1].Chunk)
+	}
+	if !tr[0].Seek || tr[1].Seek {
+		t.Errorf("seek flags = %v,%v want true,false", tr[0].Seek, tr[1].Seek)
+	}
+	if !(tr[0].End <= tr[1].Start) {
+		t.Errorf("overlapping trace entries: %+v %+v", tr[0], tr[1])
+	}
+}
+
+func TestUtilisationAndReset(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, testParams())
+	env.Process("q", func(p *sim.Proc) {
+		d.Read(p, 0, 100e6, 0, "q")
+		p.Wait(1.0 - 10e-3) // idle so total elapsed is 2s, busy 1.01s
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if u := d.Utilisation(); math.Abs(u-(1.0+10e-3)/2.0) > 1e-9 {
+		t.Errorf("utilisation = %v", u)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Requests != 0 || s.Bytes != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, Params{Bandwidth: 200e6, SeekTime: 5e-3, RequestOverhead: 1e-3})
+	if got := d.TransferTime(100e6); math.Abs(got-0.501) > 1e-12 {
+		t.Errorf("TransferTime = %v, want 0.501", got)
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.Bandwidth < 100e6 || p.Bandwidth > 1e9 {
+		t.Errorf("default bandwidth %v out of plausible range", p.Bandwidth)
+	}
+	if p.SeekTime <= 0 || p.SeekTime > 0.05 {
+		t.Errorf("default seek %v out of plausible range", p.SeekTime)
+	}
+}
+
+func TestInvalidArgumentsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	env := sim.NewEnv()
+	mustPanic("zero bandwidth", func() { New(env, Params{Bandwidth: 0}) })
+	mustPanic("negative seek", func() { New(env, Params{Bandwidth: 1, SeekTime: -1}) })
+	d := New(env, testParams())
+	env.Process("q", func(p *sim.Proc) {
+		mustPanic("zero size", func() { d.Read(p, 0, 0, 0, "q") })
+		mustPanic("negative pos", func() { d.Read(p, -1, 1, 0, "q") })
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

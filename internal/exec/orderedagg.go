@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OrderedAgg implements the paper's §7.2 adaptation of ordered aggregation
+// to out-of-order chunk delivery: the grouping key is globally sorted on
+// disk, chunks arrive in any order, and inside-chunk aggregation emits all
+// groups except a chunk's first and last, whose aggregates "are stored on a
+// side, waiting for the remaining tuples". Border groups are emitted as soon
+// as both flanks are resolved ("ready boundary values ... passed to the
+// parent immediately"); Finish drains whatever remains. The side state is
+// bounded by the number of chunks, as the paper observes.
+type OrderedAgg struct {
+	numChunks int
+	borders   []*chunkBorder
+	emit      func(Group)
+	emitted   int
+}
+
+type chunkBorder struct {
+	first, last Group
+	single      bool // whole chunk is one group (first == last)
+	empty       bool // chunk had no rows
+	doneFirst   bool
+	doneLast    bool
+}
+
+// NewOrderedAgg creates an aggregator over numChunks chunks; emit receives
+// every completed group exactly once, in no particular key order.
+func NewOrderedAgg(numChunks int, emit func(Group)) *OrderedAgg {
+	if numChunks <= 0 {
+		panic("exec: NewOrderedAgg with no chunks")
+	}
+	return &OrderedAgg{
+		numChunks: numChunks,
+		borders:   make([]*chunkBorder, numChunks),
+		emit:      emit,
+	}
+}
+
+// ProcessChunk aggregates one delivered chunk. keys must be sorted ascending
+// (the on-disk clustered order); vals is the summed measure.
+func (oa *OrderedAgg) ProcessChunk(chunk int, keys, vals []int64) {
+	if chunk < 0 || chunk >= oa.numChunks {
+		panic(fmt.Sprintf("exec: chunk %d out of range", chunk))
+	}
+	if oa.borders[chunk] != nil {
+		panic(fmt.Sprintf("exec: chunk %d processed twice", chunk))
+	}
+	if len(keys) != len(vals) {
+		panic("exec: keys/vals length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			panic(fmt.Sprintf("exec: chunk %d keys not sorted at %d", chunk, i))
+		}
+	}
+	b := &chunkBorder{}
+	oa.borders[chunk] = b
+	if len(keys) == 0 {
+		b.empty = true
+		oa.resolveAround(chunk, false)
+		return
+	}
+	var groups []Group
+	cur := Group{Key: keys[0]}
+	for i, k := range keys {
+		if k != cur.Key {
+			groups = append(groups, cur)
+			cur = Group{Key: k}
+		}
+		cur.Sum += vals[i]
+		cur.Count++
+	}
+	groups = append(groups, cur)
+	// Interior groups cannot span chunk boundaries: emit immediately.
+	for i := 1; i < len(groups)-1; i++ {
+		oa.emitGroup(groups[i])
+	}
+	b.first = groups[0]
+	b.last = groups[len(groups)-1]
+	b.single = len(groups) == 1
+	oa.resolveAround(chunk, false)
+}
+
+func (oa *OrderedAgg) emitGroup(g Group) {
+	oa.emitted++
+	if oa.emit != nil {
+		oa.emit(g)
+	}
+}
+
+// Emitted returns how many groups have been emitted so far.
+func (oa *OrderedAgg) Emitted() int { return oa.emitted }
+
+// piece is one held-back border group of a chunk.
+type piece struct {
+	chunk   int
+	g       Group
+	isFirst bool
+	isLast  bool
+	done    *bool
+}
+
+// resolveAround stitches the contiguous processed run containing chunk.
+func (oa *OrderedAgg) resolveAround(chunk int, force bool) {
+	a := chunk
+	for a > 0 && oa.borders[a-1] != nil {
+		a--
+	}
+	b := chunk
+	for b < oa.numChunks-1 && oa.borders[b+1] != nil {
+		b++
+	}
+	oa.resolveRun(a, b, force)
+}
+
+// resolveRun emits the ready border groups of the processed run [a, b].
+// With force (Finish), the run's outer flanks count as closed.
+func (oa *OrderedAgg) resolveRun(a, b int, force bool) {
+	leftClosed := a == 0 || force
+	rightClosed := b == oa.numChunks-1 || force
+
+	var pieces []piece
+	for c := a; c <= b; c++ {
+		br := oa.borders[c]
+		if br.empty {
+			continue
+		}
+		if br.single {
+			pieces = append(pieces, piece{chunk: c, g: br.first, isFirst: true, isLast: true, done: &br.doneFirst})
+		} else {
+			pieces = append(pieces, piece{chunk: c, g: br.first, isFirst: true, done: &br.doneFirst})
+			pieces = append(pieces, piece{chunk: c, g: br.last, isLast: true, done: &br.doneLast})
+		}
+	}
+	for i := 0; i < len(pieces); {
+		// Merge the maximal span of same-key pieces. Same-chunk first/last
+		// pieces always have different keys (else the chunk were single),
+		// so "same key" alone identifies pieces of one logical group.
+		j := i
+		g := pieces[i].g
+		for j+1 < len(pieces) && pieces[j+1].g.Key == g.Key {
+			j++
+			g.Sum += pieces[j].g.Sum
+			g.Count += pieces[j].g.Count
+		}
+		// The span's left flank is open only if it starts at the run's very
+		// first piece (chunk a's first group) and chunks before a might
+		// still contribute; symmetrically on the right.
+		leftOK := i > 0 || leftClosed
+		rightOK := j < len(pieces)-1 || rightClosed
+		if leftOK && rightOK && !*pieces[i].done {
+			oa.emitGroup(g)
+			for k := i; k <= j; k++ {
+				*pieces[k].done = true
+				if pieces[k].isFirst && pieces[k].isLast {
+					oa.borders[pieces[k].chunk].doneLast = true
+				}
+			}
+		}
+		i = j + 1
+	}
+}
+
+// Finish drains all remaining border groups and returns the total number of
+// groups emitted over the aggregation's lifetime. Every chunk must have been
+// processed.
+func (oa *OrderedAgg) Finish() int {
+	for c := 0; c < oa.numChunks; c++ {
+		if oa.borders[c] == nil {
+			panic(fmt.Sprintf("exec: Finish with chunk %d unprocessed", c))
+		}
+	}
+	oa.resolveRun(0, oa.numChunks-1, true)
+	return oa.emitted
+}
+
+// HashAggReference computes the same grouping with a hash aggregate, as a
+// test oracle; output is sorted by key.
+func HashAggReference(keys, vals []int64) []Group {
+	m := map[int64]*Group{}
+	for i, k := range keys {
+		g, ok := m[k]
+		if !ok {
+			g = &Group{Key: k}
+			m[k] = g
+		}
+		g.Sum += vals[i]
+		g.Count++
+	}
+	out := make([]Group, 0, len(m))
+	for _, g := range m {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"fmt"
+
+	"coopscan/internal/tpch"
+)
+
+// Vectorized primitives in the style of the paper's MonetDB/X100 engine
+// ("hyper-pipelining query execution"): operators consume column vectors
+// and selection vectors — lists of qualifying row positions — so predicates
+// compose without materialising intermediate tuples.
+
+// Sel is a selection vector: ascending positions into the current vectors.
+// A nil Sel means "all rows".
+type Sel []int32
+
+// SelAll materialises the identity selection for n rows (rarely needed —
+// operators accept nil — but useful in tests).
+func SelAll(n int) Sel {
+	s := make(Sel, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// selApply iterates sel over n rows, calling f with each position.
+func selApply(sel Sel, n int, f func(i int32)) {
+	if sel == nil {
+		for i := int32(0); i < int32(n); i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range sel {
+		f(i)
+	}
+}
+
+// SelGE filters positions where col[i] >= v.
+func SelGE(col []int64, v int64, sel Sel) Sel {
+	out := make(Sel, 0, selCap(sel, len(col)))
+	selApply(sel, len(col), func(i int32) {
+		if col[i] >= v {
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+// SelLT filters positions where col[i] < v.
+func SelLT(col []int64, v int64, sel Sel) Sel {
+	out := make(Sel, 0, selCap(sel, len(col)))
+	selApply(sel, len(col), func(i int32) {
+		if col[i] < v {
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+// SelBetween filters positions where lo <= col[i] <= hi.
+func SelBetween(col []int64, lo, hi int64, sel Sel) Sel {
+	out := make(Sel, 0, selCap(sel, len(col)))
+	selApply(sel, len(col), func(i int32) {
+		if col[i] >= lo && col[i] <= hi {
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+func selCap(sel Sel, n int) int {
+	if sel != nil {
+		return len(sel)
+	}
+	return n
+}
+
+// CountSel returns the number of selected rows.
+func CountSel(sel Sel, n int) int64 {
+	if sel == nil {
+		return int64(n)
+	}
+	return int64(len(sel))
+}
+
+// SumSel sums col over the selection.
+func SumSel(col []int64, sel Sel) int64 {
+	var s int64
+	selApply(sel, len(col), func(i int32) { s += col[i] })
+	return s
+}
+
+// MulSumSel sums a[i]*b[i] over the selection (Q6's revenue expression).
+func MulSumSel(a, b []int64, sel Sel) int64 {
+	if len(a) != len(b) {
+		panic("exec: MulSumSel length mismatch")
+	}
+	var s int64
+	selApply(sel, len(a), func(i int32) { s += a[i] * b[i] })
+	return s
+}
+
+// HashGroupSum aggregates sum(val) and count per key over the selection,
+// folding into groups (allocated on first use) so chunks merge in any order.
+func HashGroupSum(groups map[int64]*Group, key, val []int64, sel Sel) {
+	if len(key) != len(val) {
+		panic("exec: HashGroupSum length mismatch")
+	}
+	selApply(sel, len(key), func(i int32) {
+		g, ok := groups[key[i]]
+		if !ok {
+			g = &Group{Key: key[i]}
+			groups[key[i]] = g
+		}
+		g.Sum += val[i]
+		g.Count++
+	})
+}
+
+// Q6Vectorized evaluates the FAST query with the vectorized primitives; it
+// must agree with the scalar Q6Chunk exactly (property-tested).
+func Q6Vectorized(g *tpch.Generator, start, n int64, pred Q6Predicate) Q6Result {
+	dates := make([]int64, n)
+	disc := make([]int64, n)
+	qty := make([]int64, n)
+	price := make([]int64, n)
+	g.Column(tpch.ColShipDate, start, dates)
+	g.Column(tpch.ColDiscount, start, disc)
+	g.Column(tpch.ColQuantity, start, qty)
+	g.Column(tpch.ColExtendedPrice, start, price)
+
+	sel := SelGE(dates, pred.DateLo, nil)
+	sel = SelLT(dates, pred.DateHi, sel)
+	sel = SelBetween(disc, pred.DiscLo, pred.DiscHi, sel)
+	sel = SelLT(qty, pred.MaxQty, sel)
+	return Q6Result{
+		Revenue: MulSumSel(price, disc, sel),
+		Rows:    CountSel(sel, int(n)),
+	}
+}
+
+// Q1Vectorized evaluates the SLOW query's aggregation with the vectorized
+// primitives (grouping via a composed flag/status key); like Q6Vectorized
+// it must agree with the scalar implementation, modulo the extra-arithmetic
+// knob which does not change results.
+func Q1Vectorized(g *tpch.Generator, start, n int64, dateMax int64) Q1Result {
+	dates := make([]int64, n)
+	qty := make([]int64, n)
+	price := make([]int64, n)
+	disc := make([]int64, n)
+	tax := make([]int64, n)
+	flag := make([]int64, n)
+	status := make([]int64, n)
+	g.Column(tpch.ColShipDate, start, dates)
+	g.Column(tpch.ColQuantity, start, qty)
+	g.Column(tpch.ColExtendedPrice, start, price)
+	g.Column(tpch.ColDiscount, start, disc)
+	g.Column(tpch.ColTax, start, tax)
+	g.Column(tpch.ColReturnFlag, start, flag)
+	g.Column(tpch.ColLineStatus, start, status)
+
+	sel := SelLT(dates, dateMax+1, nil)
+	res := make(Q1Result, 6)
+	selApply(sel, int(n), func(i int32) {
+		k := [2]byte{byte(flag[i]), byte(status[i])}
+		grp, ok := res[k]
+		if !ok {
+			grp = &Q1Group{Flag: k[0], Status: k[1]}
+			res[k] = grp
+		}
+		discPrice := price[i] * (100 - disc[i]) / 100
+		grp.Count++
+		grp.SumQty += qty[i]
+		grp.SumBase += price[i]
+		grp.SumDisc += discPrice
+		grp.SumCharge += discPrice * (100 + tax[i]) / 100
+	})
+	return res
+}
+
+// VecBatch is a simple pull-based vector pipeline over generated data,
+// delivering fixed-size vectors of the chosen columns — the Volcano-style
+// interface CScan plugs into (the chunk number travels as a virtual column,
+// paper §7.2).
+type VecBatch struct {
+	Chunk    int
+	FirstRow int64
+	N        int
+	Cols     map[int][]int64
+}
+
+// ReadBatch materialises one vector batch of the given columns.
+func ReadBatch(g *tpch.Generator, chunk int, firstRow, n int64, cols []int) VecBatch {
+	b := VecBatch{Chunk: chunk, FirstRow: firstRow, N: int(n), Cols: make(map[int][]int64, len(cols))}
+	for _, c := range cols {
+		v := make([]int64, n)
+		g.Column(c, firstRow, v)
+		b.Cols[c] = v
+	}
+	return b
+}
+
+// Col returns the vector of a column, panicking if it was not read.
+func (b VecBatch) Col(c int) []int64 {
+	v, ok := b.Cols[c]
+	if !ok {
+		panic(fmt.Sprintf("exec: batch has no column %d", c))
+	}
+	return v
+}

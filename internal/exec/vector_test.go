@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"coopscan/internal/tpch"
+)
+
+func TestSelPrimitives(t *testing.T) {
+	col := []int64{5, 1, 9, 3, 7, 3}
+	if got := SelGE(col, 5, nil); !reflect.DeepEqual(got, Sel{0, 2, 4}) {
+		t.Errorf("SelGE = %v", got)
+	}
+	if got := SelLT(col, 4, nil); !reflect.DeepEqual(got, Sel{1, 3, 5}) {
+		t.Errorf("SelLT = %v", got)
+	}
+	if got := SelBetween(col, 3, 5, nil); !reflect.DeepEqual(got, Sel{0, 3, 5}) {
+		t.Errorf("SelBetween = %v", got)
+	}
+	// Composition narrows.
+	sel := SelGE(col, 3, nil)
+	sel = SelLT(col, 8, sel)
+	if !reflect.DeepEqual(sel, Sel{0, 3, 4, 5}) {
+		t.Errorf("composed = %v", sel)
+	}
+	if CountSel(sel, len(col)) != 4 {
+		t.Error("CountSel wrong")
+	}
+	if CountSel(nil, 6) != 6 {
+		t.Error("CountSel nil wrong")
+	}
+	if SumSel(col, sel) != 5+3+7+3 {
+		t.Error("SumSel wrong")
+	}
+	if MulSumSel(col, col, Sel{1}) != 1 {
+		t.Error("MulSumSel wrong")
+	}
+	if got := SelAll(3); !reflect.DeepEqual(got, Sel{0, 1, 2}) {
+		t.Errorf("SelAll = %v", got)
+	}
+}
+
+func TestHashGroupSum(t *testing.T) {
+	groups := map[int64]*Group{}
+	key := []int64{1, 2, 1, 3, 2}
+	val := []int64{10, 20, 30, 40, 50}
+	HashGroupSum(groups, key, val, nil)
+	HashGroupSum(groups, []int64{1}, []int64{5}, nil) // merge a second batch
+	if g := groups[1]; g.Sum != 45 || g.Count != 3 {
+		t.Errorf("group 1 = %+v", g)
+	}
+	if g := groups[3]; g.Sum != 40 || g.Count != 1 {
+		t.Errorf("group 3 = %+v", g)
+	}
+	// With a selection only positions 0 and 3 count.
+	groups2 := map[int64]*Group{}
+	HashGroupSum(groups2, key, val, Sel{0, 3})
+	if len(groups2) != 2 || groups2[1].Sum != 10 || groups2[3].Sum != 40 {
+		t.Errorf("selected groups = %v", groups2)
+	}
+}
+
+func TestQ6VectorizedMatchesScalar(t *testing.T) {
+	g := tpch.NewGenerator(tpch.LineitemTable(0.01), 21)
+	pred := DefaultQ6()
+	a := Q6Chunk(g, 0, 30000, pred)
+	b := Q6Vectorized(g, 0, 30000, pred)
+	if a != b {
+		t.Errorf("scalar %+v != vectorized %+v", a, b)
+	}
+	if a.Rows == 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestQuickQ6VectorizedEquivalence(t *testing.T) {
+	g := tpch.NewGenerator(tpch.LineitemTable(0.01), 22)
+	rows := g.Table().Rows
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		start := rng.Int63n(rows - 1000)
+		n := 1 + rng.Int63n(1000)
+		pred := Q6Predicate{
+			DateLo: rng.Int63n(tpch.DateMax),
+			DiscLo: rng.Int63n(8),
+			MaxQty: 1 + rng.Int63n(50),
+		}
+		pred.DateHi = pred.DateLo + rng.Int63n(tpch.DateMax-pred.DateLo+1)
+		pred.DiscHi = pred.DiscLo + rng.Int63n(4)
+		return Q6Chunk(g, start, n, pred) == Q6Vectorized(g, start, n, pred)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBatch(t *testing.T) {
+	g := tpch.NewGenerator(tpch.LineitemTable(0.01), 23)
+	b := ReadBatch(g, 3, 1000, 500, []int{tpch.ColQuantity, tpch.ColDiscount})
+	if b.N != 500 || b.Chunk != 3 || b.FirstRow != 1000 {
+		t.Errorf("batch meta = %+v", b)
+	}
+	if len(b.Col(tpch.ColQuantity)) != 500 {
+		t.Error("column length wrong")
+	}
+	direct := make([]int64, 500)
+	g.Column(tpch.ColQuantity, 1000, direct)
+	if !reflect.DeepEqual(b.Col(tpch.ColQuantity), direct) {
+		t.Error("batch column differs from direct read")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing column should panic")
+		}
+	}()
+	b.Col(tpch.ColComment)
+}
+
+func TestMulSumSelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MulSumSel([]int64{1}, []int64{1, 2}, nil)
+}
+
+func TestQ1VectorizedMatchesScalar(t *testing.T) {
+	g := tpch.NewGenerator(tpch.LineitemTable(0.01), 31)
+	a := Q1Chunk(g, 0, 40000, tpch.DateMax-90, 0)
+	b := Q1Vectorized(g, 0, 40000, tpch.DateMax-90)
+	if len(a) != len(b) {
+		t.Fatalf("groups %d vs %d", len(a), len(b))
+	}
+	for k, want := range a {
+		got := b[k]
+		if got == nil || *got != *want {
+			t.Errorf("group %v: %+v vs %+v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coopscan/internal/core"
+	"coopscan/internal/workload"
+)
+
+func TestFig2Formula(t *testing.T) {
+	// Endpoint checks of formula (1).
+	if p := ReuseProbability(100, 100, 1); math.Abs(p-1) > 1e-12 {
+		t.Errorf("full-table query: P = %v, want 1", p)
+	}
+	if p := ReuseProbability(100, 1, 1); math.Abs(p-0.01) > 1e-12 {
+		t.Errorf("1-chunk query, 1-chunk buffer: P = %v, want 0.01", p)
+	}
+	// Monotone in both query size and buffer size.
+	for cb := 1; cb < 50; cb += 7 {
+		last := 0.0
+		for cq := 1; cq <= 100; cq++ {
+			p := ReuseProbability(100, cq, cb)
+			if p < last-1e-12 {
+				t.Fatalf("P not monotone in query size at cq=%d cb=%d", cq, cb)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("P out of [0,1]: %v", p)
+			}
+			last = p
+		}
+	}
+	// The paper's headline: a 10% scan with a 10% buffer exceeds 50%.
+	if p := ReuseProbability(100, 10, 10); p < 0.5 {
+		t.Errorf("10%% scan, 10%% buffer: P = %v, want > 0.5", p)
+	}
+	r := Fig2()
+	if len(r.Points) != 5*100 {
+		t.Errorf("points = %d", len(r.Points))
+	}
+	if !strings.Contains(r.String(), "Figure 2") {
+		t.Error("missing banner")
+	}
+}
+
+func table2Quick(t *testing.T) *Table2Result {
+	t.Helper()
+	return Table2(QuickTable2())
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r := table2Quick(t)
+	if len(r.Results) != 4 {
+		t.Fatalf("results = %d", len(r.Results))
+	}
+	by := map[core.Policy]workload.Result{}
+	for _, res := range r.Results {
+		by[res.Policy] = res
+	}
+	// The paper's qualitative claims.
+	if by[core.Relevance].IORequests >= by[core.Normal].IORequests {
+		t.Errorf("relevance I/Os %d should undercut normal %d",
+			by[core.Relevance].IORequests, by[core.Normal].IORequests)
+	}
+	if by[core.Elevator].IORequests > by[core.Attach].IORequests {
+		t.Errorf("elevator I/Os %d should undercut attach %d",
+			by[core.Elevator].IORequests, by[core.Attach].IORequests)
+	}
+	if by[core.Relevance].AvgStreamTime > by[core.Normal].AvgStreamTime {
+		t.Errorf("relevance stream time should beat normal")
+	}
+	if by[core.Relevance].AvgNormLatency > by[core.Attach].AvgNormLatency {
+		t.Errorf("relevance latency %.2f should beat attach %.2f",
+			by[core.Relevance].AvgNormLatency, by[core.Attach].AvgNormLatency)
+	}
+	if by[core.Elevator].AvgNormLatency < by[core.Relevance].AvgNormLatency {
+		t.Errorf("elevator latency should be the worst dimension")
+	}
+	if !strings.Contains(r.String(), "System statistics") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig4Traces(t *testing.T) {
+	r := Fig4(QuickTable2())
+	if len(r.Traces) != 4 {
+		t.Fatalf("traces = %d", len(r.Traces))
+	}
+	if len(r.Traces["normal"]) <= len(r.Traces["elevator"]) {
+		t.Errorf("normal (%d requests) should out-request elevator (%d)",
+			len(r.Traces["normal"]), len(r.Traces["elevator"]))
+	}
+	// Elevator's accesses are (mostly) a sequential sweep: count direction
+	// changes; they must be rare compared to normal's interleaving.
+	direction := func(pts []Fig4Point) int {
+		changes := 0
+		for i := 2; i < len(pts); i++ {
+			d1 := pts[i-1].Chunk - pts[i-2].Chunk
+			d2 := pts[i].Chunk - pts[i-1].Chunk
+			if (d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0) {
+				changes++
+			}
+		}
+		return changes
+	}
+	ne, nn := direction(r.Traces["elevator"]), direction(r.Traces["normal"])
+	if ne >= nn {
+		t.Errorf("elevator direction changes %d should undercut normal %d", ne, nn)
+	}
+	if !strings.Contains(r.String(), "policy=relevance") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig5RelevanceDominates(t *testing.T) {
+	r := Fig5(QuickFig5())
+	if len(r.Points) != 3*3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	atLeastOne := 0
+	for _, p := range r.Points {
+		if p.StreamTimeRatio > 1 && p.NormLatRatio > 1 {
+			atLeastOne++
+		}
+		if p.StreamTimeRatio < 0.5 || p.NormLatRatio < 0.3 {
+			t.Errorf("%v/%s ratios (%.2f, %.2f) implausibly favour the baseline",
+				p.Policy, p.Mix, p.StreamTimeRatio, p.NormLatRatio)
+		}
+	}
+	if atLeastOne < len(r.Points)/2 {
+		t.Errorf("relevance dominated only %d/%d points", atLeastOne, len(r.Points))
+	}
+}
+
+func TestFig6BufferSweep(t *testing.T) {
+	r := Fig6(QuickFig6())
+	// I/Os must not increase with buffer size (per set and policy).
+	for _, set := range []string{"cpu", "io"} {
+		for _, pol := range core.Policies {
+			last := math.MaxInt32
+			for _, frac := range r.Opts.Fractions {
+				for _, p := range r.Points {
+					if p.Set == set && p.Policy == pol && p.Fraction == frac {
+						if p.IORequests > int(float64(last)*1.1) {
+							t.Errorf("%s/%v: I/Os grew with buffer: %d -> %d", set, pol, last, p.IORequests)
+						}
+						last = p.IORequests
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFig7ConcurrencySweep(t *testing.T) {
+	r := Fig7(QuickFig7())
+	get := func(pol core.Policy, n int) float64 {
+		for _, p := range r.Points {
+			if p.Policy == pol && p.Queries == n {
+				return p.AvgLatency
+			}
+		}
+		t.Fatalf("missing point %v/%d", pol, n)
+		return 0
+	}
+	// With one query all policies are (near) identical.
+	solo := get(core.Normal, 1)
+	for _, pol := range core.Policies {
+		if d := math.Abs(get(pol, 1) - solo); d > solo*0.25 {
+			t.Errorf("%v solo latency deviates: %v vs %v", pol, get(pol, 1), solo)
+		}
+	}
+	// At the highest concurrency relevance must beat normal.
+	nMax := r.Opts.Queries[len(r.Opts.Queries)-1]
+	if get(core.Relevance, nMax) >= get(core.Normal, nMax) {
+		t.Errorf("relevance at %d queries (%v) should beat normal (%v)",
+			nMax, get(core.Relevance, nMax), get(core.Normal, nMax))
+	}
+}
+
+func TestFig8SchedulingCost(t *testing.T) {
+	r := Fig8(QuickFig8())
+	if len(r.Points) != len(r.Opts.ChunkCount)*len(r.Opts.ScanPcts) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.PerQueryMS < 0 || p.PerDecision < 0 {
+			t.Errorf("negative scheduling cost: %+v", p)
+		}
+		if p.ExecFrac > 0.5 {
+			t.Errorf("scheduling consumed %v of execution: implausible", p.ExecFrac)
+		}
+	}
+}
+
+func TestTable3DSMShapes(t *testing.T) {
+	r := Table3(QuickTable3())
+	by := map[core.Policy]workload.Result{}
+	for _, res := range r.Results {
+		by[res.Policy] = res
+	}
+	if by[core.Relevance].AvgStreamTime > by[core.Normal].AvgStreamTime {
+		t.Errorf("DSM relevance stream time %.2f should beat normal %.2f",
+			by[core.Relevance].AvgStreamTime, by[core.Normal].AvgStreamTime)
+	}
+	if by[core.Relevance].IORequests >= by[core.Normal].IORequests {
+		t.Errorf("DSM relevance I/Os %d should undercut normal %d",
+			by[core.Relevance].IORequests, by[core.Normal].IORequests)
+	}
+	for _, res := range r.Results {
+		if len(res.Queries) != r.Opts.Streams*r.Opts.QueriesPerStream {
+			t.Errorf("%v: %d queries", res.Policy, len(res.Queries))
+		}
+	}
+}
+
+func TestTable4OverlapShapes(t *testing.T) {
+	r := Table4(QuickTable4())
+	if len(r.Rows) != 2*len(Table4Variants()) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(variant string, pol core.Policy) Table4Row {
+		for _, row := range r.Rows {
+			if row.Variant == variant && row.Policy == pol {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%v", variant, pol)
+		return Table4Row{}
+	}
+	// Relevance must beat normal on the single-type workload (max overlap).
+	abcN, abcR := get("ABC", core.Normal), get("ABC", core.Relevance)
+	if abcR.IORequests >= abcN.IORequests {
+		t.Errorf("ABC: relevance I/Os %d should undercut normal %d", abcR.IORequests, abcN.IORequests)
+	}
+	if abcR.AvgLatency >= abcN.AvgLatency {
+		t.Errorf("ABC: relevance latency %.2f should beat normal %.2f", abcR.AvgLatency, abcN.AvgLatency)
+	}
+	// Losing column overlap costs relevance I/O reuse: the disjoint
+	// two-family variant must read more than the single family.
+	if get("ABC,DEF", core.Relevance).IORequests <= abcR.IORequests {
+		t.Errorf("ABC,DEF relevance I/Os should exceed ABC: %d vs %d",
+			get("ABC,DEF", core.Relevance).IORequests, abcR.IORequests)
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// Signal is a broadcast/wakeup primitive in virtual time, akin to a
+// condition variable. Processes block on Wait; other processes release one
+// or all waiters. There is no associated mutex: the simulation is
+// single-threaded by construction, so state inspected before Wait cannot
+// change until the process yields.
+type Signal struct {
+	env     *Env
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal creates a named signal in env. The name appears in deadlock
+// reports.
+func (e *Env) NewSignal(name string) *Signal {
+	return &Signal{env: e, name: name}
+}
+
+// Wait blocks the process until another process calls Signal or Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	if p.env != s.env {
+		panic("sim: Signal.Wait with process from a different Env")
+	}
+	s.waiters = append(s.waiters, p)
+	p.state = StateBlocked
+	p.blockedOn = fmt.Sprintf("signal %q", s.name)
+	p.yield()
+}
+
+// Signal wakes the longest-waiting process, if any, at the current virtual
+// time. It reports whether a process was woken.
+func (s *Signal) Signal() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	p.state = StateSleeping
+	s.env.schedule(p, s.env.now)
+	return true
+}
+
+// Broadcast wakes all waiting processes at the current virtual time and
+// returns how many were woken.
+func (s *Signal) Broadcast() int {
+	n := len(s.waiters)
+	for _, p := range s.waiters {
+		p.state = StateSleeping
+		s.env.schedule(p, s.env.now)
+	}
+	s.waiters = s.waiters[:0]
+	return n
+}
+
+// Waiters returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ColSet is a set of column indices represented as a bitmask. Layouts are
+// limited to 64 columns, which comfortably covers TPC-H-style tables.
+type ColSet uint64
+
+// MaxColumns is the widest table a ColSet can describe.
+const MaxColumns = 64
+
+// Cols builds a ColSet from column indices.
+func Cols(idx ...int) ColSet {
+	var s ColSet
+	for _, i := range idx {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// AllCols returns the set {0, …, n-1}.
+func AllCols(n int) ColSet {
+	if n < 0 || n > MaxColumns {
+		panic(fmt.Sprintf("storage: AllCols(%d)", n))
+	}
+	if n == MaxColumns {
+		return ColSet(^uint64(0))
+	}
+	return ColSet((uint64(1) << n) - 1)
+}
+
+// Add returns the set with column i added.
+func (s ColSet) Add(i int) ColSet {
+	if i < 0 || i >= MaxColumns {
+		panic(fmt.Sprintf("storage: column index %d out of range", i))
+	}
+	return s | ColSet(uint64(1)<<i)
+}
+
+// Has reports whether column i is in the set.
+func (s ColSet) Has(i int) bool {
+	return i >= 0 && i < MaxColumns && s&ColSet(uint64(1)<<i) != 0
+}
+
+// Union, Intersect and Minus are the usual set operations.
+func (s ColSet) Union(o ColSet) ColSet     { return s | o }
+func (s ColSet) Intersect(o ColSet) ColSet { return s & o }
+func (s ColSet) Minus(o ColSet) ColSet     { return s &^ o }
+
+// Overlaps reports whether the sets share any column.
+func (s ColSet) Overlaps(o ColSet) bool { return s&o != 0 }
+
+// Empty reports whether the set has no columns.
+func (s ColSet) Empty() bool { return s == 0 }
+
+// Count returns the number of columns in the set.
+func (s ColSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Each calls fn for every column index in ascending order.
+func (s ColSet) Each(fn func(col int)) {
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		fn(i)
+		v &^= uint64(1) << i
+	}
+}
+
+// Indices returns the member column indices in ascending order.
+func (s ColSet) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.Each(func(c int) { out = append(out, c) })
+	return out
+}
+
+func (s ColSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(c int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package pax
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"coopscan/internal/tpch"
+)
+
+func TestPageCapacity(t *testing.T) {
+	// 4096-byte page, 4 columns: (4096-12-16)/(8*4) = 127 tuples.
+	if got := PageCapacity(4096, 4); got != 127 {
+		t.Errorf("capacity = %d, want 127", got)
+	}
+	if got := PageCapacity(32, 4); got != 0 {
+		t.Errorf("tiny page capacity = %d, want 0", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cols := [][]int64{
+		{1, 2, 3},
+		{-1, -2, -3},
+		{1 << 60, 0, -1 << 60},
+	}
+	page, err := EncodePage(512, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 512 {
+		t.Fatalf("page size %d", len(page))
+	}
+	got, err := DecodePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cols) {
+		t.Errorf("round trip: %v vs %v", got, cols)
+	}
+	one, err := DecodeColumn(page, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, cols[2]) {
+		t.Errorf("DecodeColumn = %v", one)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodePage(512, nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := EncodePage(512, [][]int64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged columns should fail")
+	}
+	big := make([]int64, 1000)
+	if _, err := EncodePage(512, [][]int64{big}); err == nil {
+		t.Error("overflow should fail")
+	}
+}
+
+func TestDecodeCorruptPages(t *testing.T) {
+	valid, _ := EncodePage(256, [][]int64{{1, 2, 3}})
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     valid[:8],
+		"bad magic": append([]byte{0, 0, 0, 0}, valid[4:]...),
+		"truncated": valid[:20],
+	}
+	for name, page := range cases {
+		if _, err := DecodePage(page); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := DecodeColumn(valid, 5); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+	if _, err := DecodeColumn(valid[:4], 0); err == nil {
+		t.Error("short page should fail")
+	}
+}
+
+func TestWriterPacksLineitemChunk(t *testing.T) {
+	// Encode a real slice of generated lineitem into PAX pages and verify
+	// the data survives, page by page.
+	g := tpch.NewGenerator(tpch.LineitemTable(0.01), 5)
+	const rows = 5000
+	colIDs := []int{tpch.ColQuantity, tpch.ColDiscount, tpch.ColExtendedPrice, tpch.ColShipDate}
+	src := make([][]int64, len(colIDs))
+	for i, c := range colIDs {
+		src[i] = make([]int64, rows)
+		g.Column(c, 0, src[i])
+	}
+	const pageBytes = 8192
+	w := NewWriter(pageBytes, len(colIDs))
+	row := make([]int64, len(colIDs))
+	for r := 0; r < rows; r++ {
+		for i := range colIDs {
+			row[i] = src[i][r]
+		}
+		if err := w.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := PageCapacity(pageBytes, len(colIDs))
+	wantPages := (rows + capacity - 1) / capacity
+	if len(pages) != wantPages {
+		t.Fatalf("pages = %d, want %d", len(pages), wantPages)
+	}
+	// Reassemble and compare.
+	got := make([][]int64, len(colIDs))
+	for _, page := range pages {
+		cols, err := DecodePage(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			got[i] = append(got[i], cols[i]...)
+		}
+	}
+	for i := range src {
+		if !reflect.DeepEqual(got[i], src[i]) {
+			t.Fatalf("column %d differs after PAX round trip", colIDs[i])
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w := NewWriter(4096, 3)
+	if err := w.Append([]int64{1, 2}); err == nil {
+		t.Error("short row should fail")
+	}
+	// Empty writer finishes with no pages.
+	pages, err := w.Finish()
+	if err != nil || len(pages) != 0 {
+		t.Errorf("empty finish = %v, %v", pages, err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unusable page size should panic")
+			}
+		}()
+		NewWriter(16, 4)
+	}()
+}
+
+func TestQuickPaxRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(6)
+		pageBytes := 256 + rng.Intn(8192)
+		capTuples := PageCapacity(pageBytes, nCols)
+		if capTuples == 0 {
+			return true
+		}
+		n := rng.Intn(capTuples + 1)
+		cols := make([][]int64, nCols)
+		for i := range cols {
+			cols[i] = make([]int64, n)
+			for j := range cols[i] {
+				cols[i][j] = rng.Int63() - rng.Int63()
+			}
+		}
+		page, err := EncodePage(pageBytes, cols)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePage(page)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, cols)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

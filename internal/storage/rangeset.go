@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Range is a half-open interval [Start, End) of chunk indices.
+type Range struct {
+	Start, End int
+}
+
+// Len returns the number of chunks in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Contains reports whether chunk c falls in the range.
+func (r Range) Contains(c int) bool { return c >= r.Start && c < r.End }
+
+// RangeSet is a normalised (sorted, non-overlapping, non-adjacent) set of
+// chunk ranges. Scans over zonemap-pruned tables request such sets: the
+// paper notes that per-block min/max metadata "can sometimes result in a
+// scan-plan that requires a set of non-contiguous table ranges".
+type RangeSet struct {
+	ranges []Range
+}
+
+// NewRangeSet builds a normalised set from arbitrary ranges; empty and
+// inverted ranges are dropped, overlapping and adjacent ones merged.
+func NewRangeSet(ranges ...Range) RangeSet {
+	rs := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.End > r.Start {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	var out []Range
+	for _, r := range rs {
+		if n := len(out); n > 0 && r.Start <= out[n-1].End {
+			if r.End > out[n-1].End {
+				out[n-1].End = r.End
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return RangeSet{ranges: out}
+}
+
+// Ranges returns the normalised ranges; callers must not modify the slice.
+func (s RangeSet) Ranges() []Range { return s.ranges }
+
+// Len returns the total number of chunks covered.
+func (s RangeSet) Len() int {
+	n := 0
+	for _, r := range s.ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// Empty reports whether the set covers no chunks.
+func (s RangeSet) Empty() bool { return len(s.ranges) == 0 }
+
+// Contains reports whether chunk c is covered.
+func (s RangeSet) Contains(c int) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].End > c })
+	return i < len(s.ranges) && s.ranges[i].Contains(c)
+}
+
+// Min and Max return the smallest and largest covered chunk; they panic on
+// an empty set.
+func (s RangeSet) Min() int {
+	if s.Empty() {
+		panic("storage: Min of empty RangeSet")
+	}
+	return s.ranges[0].Start
+}
+
+func (s RangeSet) Max() int {
+	if s.Empty() {
+		panic("storage: Max of empty RangeSet")
+	}
+	return s.ranges[len(s.ranges)-1].End - 1
+}
+
+// Each calls fn for every covered chunk in ascending order.
+func (s RangeSet) Each(fn func(chunk int)) {
+	for _, r := range s.ranges {
+		for c := r.Start; c < r.End; c++ {
+			fn(c)
+		}
+	}
+}
+
+// Chunks returns all covered chunk indices in ascending order.
+func (s RangeSet) Chunks() []int {
+	out := make([]int, 0, s.Len())
+	s.Each(func(c int) { out = append(out, c) })
+	return out
+}
+
+// NextFrom returns the smallest covered chunk >= c, or ok=false if none.
+func (s RangeSet) NextFrom(c int) (int, bool) {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].End > c })
+	if i >= len(s.ranges) {
+		return 0, false
+	}
+	if c >= s.ranges[i].Start {
+		return c, true
+	}
+	return s.ranges[i].Start, true
+}
+
+// Intersect returns the chunks covered by both sets.
+func (s RangeSet) Intersect(o RangeSet) RangeSet {
+	var out []Range
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(o.ranges) {
+		a, b := s.ranges[i], o.ranges[j]
+		lo, hi := max(a.Start, b.Start), min(a.End, b.End)
+		if lo < hi {
+			out = append(out, Range{lo, hi})
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return NewRangeSet(out...)
+}
+
+// Union returns the chunks covered by either set.
+func (s RangeSet) Union(o RangeSet) RangeSet {
+	return NewRangeSet(append(append([]Range{}, s.ranges...), o.ranges...)...)
+}
+
+// OverlapLen returns |s ∩ o| without materialising the intersection.
+func (s RangeSet) OverlapLen(o RangeSet) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(o.ranges) {
+		a, b := s.ranges[i], o.ranges[j]
+		if lo, hi := max(a.Start, b.Start), min(a.End, b.End); lo < hi {
+			n += hi - lo
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+func (s RangeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, r := range s.ranges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d", r.Start, r.End)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRangeSetNormalises(t *testing.T) {
+	cases := []struct {
+		in   []Range
+		want string
+	}{
+		{nil, "[]"},
+		{[]Range{{5, 5}}, "[]"},
+		{[]Range{{7, 3}}, "[]"},
+		{[]Range{{0, 3}}, "[0-3]"},
+		{[]Range{{3, 6}, {0, 3}}, "[0-6]"}, // adjacent merge
+		{[]Range{{0, 5}, {2, 8}}, "[0-8]"}, // overlap merge
+		{[]Range{{10, 12}, {0, 2}, {5, 7}}, "[0-2 5-7 10-12]"},
+		{[]Range{{0, 10}, {2, 4}}, "[0-10]"}, // containment
+	}
+	for _, c := range cases {
+		if got := NewRangeSet(c.in...).String(); got != c.want {
+			t.Errorf("NewRangeSet(%v) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRangeSetQueries(t *testing.T) {
+	s := NewRangeSet(Range{2, 5}, Range{8, 10})
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	for c, want := range map[int]bool{1: false, 2: true, 4: true, 5: false, 8: true, 9: true, 10: false} {
+		if got := s.Contains(c); got != want {
+			t.Errorf("Contains(%d) = %v", c, got)
+		}
+	}
+	if got := s.Chunks(); !reflect.DeepEqual(got, []int{2, 3, 4, 8, 9}) {
+		t.Errorf("Chunks = %v", got)
+	}
+}
+
+func TestRangeSetNextFrom(t *testing.T) {
+	s := NewRangeSet(Range{2, 5}, Range{8, 10})
+	cases := []struct {
+		from, want int
+		ok         bool
+	}{
+		{0, 2, true}, {2, 2, true}, {4, 4, true}, {5, 8, true}, {9, 9, true}, {10, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.NextFrom(c.from)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("NextFrom(%d) = %d,%v want %d,%v", c.from, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRangeSetIntersectUnionOverlap(t *testing.T) {
+	a := NewRangeSet(Range{0, 10}, Range{20, 30})
+	b := NewRangeSet(Range{5, 25})
+	if got := a.Intersect(b).String(); got != "[5-10 20-25]" {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := a.Union(b).String(); got != "[0-30]" {
+		t.Errorf("Union = %s", got)
+	}
+	if got := a.OverlapLen(b); got != 10 {
+		t.Errorf("OverlapLen = %d, want 10", got)
+	}
+	empty := NewRangeSet()
+	if !empty.Intersect(a).Empty() || empty.OverlapLen(a) != 0 {
+		t.Error("empty set should not intersect")
+	}
+}
+
+func TestRangeSetEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min": func() { NewRangeSet().Min() },
+		"Max": func() { NewRangeSet().Max() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty set: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// quick-check: set operations agree with a brute-force bitmap model.
+func TestQuickRangeSetAgainstBitmap(t *testing.T) {
+	const universe = 64
+	toSet := func(seed int64) (RangeSet, [universe]bool) {
+		rng := rand.New(rand.NewSource(seed))
+		var ranges []Range
+		var bits [universe]bool
+		for i := 0; i < rng.Intn(6); i++ {
+			s := rng.Intn(universe)
+			e := s + rng.Intn(universe-s)
+			ranges = append(ranges, Range{s, e})
+			for c := s; c < e; c++ {
+				bits[c] = true
+			}
+		}
+		return NewRangeSet(ranges...), bits
+	}
+	f := func(seedA, seedB int64) bool {
+		a, ba := toSet(seedA)
+		b, bb := toSet(seedB)
+		inter, uni := a.Intersect(b), a.Union(b)
+		overlap := 0
+		for c := 0; c < universe; c++ {
+			if inter.Contains(c) != (ba[c] && bb[c]) {
+				return false
+			}
+			if uni.Contains(c) != (ba[c] || bb[c]) {
+				return false
+			}
+			if ba[c] && bb[c] {
+				overlap++
+			}
+			if a.Contains(c) != ba[c] {
+				return false
+			}
+		}
+		if a.OverlapLen(b) != overlap {
+			return false
+		}
+		// Len agrees with popcount.
+		n := 0
+		for c := 0; c < universe; c++ {
+			if ba[c] {
+				n++
+			}
+		}
+		return a.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZoneMapPrune(t *testing.T) {
+	zm := NewZoneMap(10)
+	// Chunks hold increasing date-like ranges: chunk c covers [100c, 100c+99].
+	for c := 0; c < 10; c++ {
+		zm.SetBounds(c, int64(100*c), int64(100*c+99))
+	}
+	if got := zm.Prune(250, 450).String(); got != "[2-5]" {
+		t.Errorf("Prune(250,450) = %s, want [2-5]", got)
+	}
+	if got := zm.Prune(0, 5000).Len(); got != 10 {
+		t.Errorf("full prune = %d chunks", got)
+	}
+	if !zm.Prune(5000, 6000).Empty() {
+		t.Error("out-of-range prune should be empty")
+	}
+}
+
+func TestZoneMapObserveAndDisjointRanges(t *testing.T) {
+	zm := NewZoneMap(6)
+	// Correlated-but-not-sorted values: chunks 0,2,4 hold low values,
+	// chunks 1,3,5 high ones; pruning a low range yields multiple ranges.
+	for c := 0; c < 6; c++ {
+		base := int64(0)
+		if c%2 == 1 {
+			base = 1000
+		}
+		zm.Observe(c, base)
+		zm.Observe(c, base+10)
+	}
+	if got := zm.Prune(0, 100).String(); got != "[0-1 2-3 4-5]" {
+		t.Errorf("Prune = %s, want [0-1 2-3 4-5]", got)
+	}
+	lo, hi := zm.Bounds(1)
+	if lo != 1000 || hi != 1010 {
+		t.Errorf("Bounds(1) = %d,%d", lo, hi)
+	}
+	if zm.NumChunks() != 6 {
+		t.Errorf("NumChunks = %d", zm.NumChunks())
+	}
+	// An unobserved chunk has inverted bounds and never matches.
+	zm2 := NewZoneMap(2)
+	zm2.Observe(0, 5)
+	if got := zm2.Prune(-1<<60, 1<<60).String(); got != "[0-1]" {
+		t.Errorf("unobserved chunk matched: %s", got)
+	}
+}
+
+func TestColSetOperations(t *testing.T) {
+	s := Cols(0, 2, 5)
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) || s.Has(1) || s.Has(64) || s.Has(-1) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	o := Cols(2, 3)
+	if s.Union(o) != Cols(0, 2, 3, 5) {
+		t.Error("Union wrong")
+	}
+	if s.Intersect(o) != Cols(2) {
+		t.Error("Intersect wrong")
+	}
+	if s.Minus(o) != Cols(0, 5) {
+		t.Error("Minus wrong")
+	}
+	if !s.Overlaps(o) || s.Overlaps(Cols(1)) {
+		t.Error("Overlaps wrong")
+	}
+	if got := s.Indices(); !reflect.DeepEqual(got, []int{0, 2, 5}) {
+		t.Errorf("Indices = %v", got)
+	}
+	if s.String() != "{0,2,5}" {
+		t.Errorf("String = %s", s.String())
+	}
+	if !ColSet(0).Empty() || s.Empty() {
+		t.Error("Empty wrong")
+	}
+	if AllCols(3) != Cols(0, 1, 2) {
+		t.Error("AllCols wrong")
+	}
+	if AllCols(64).Count() != 64 {
+		t.Error("AllCols(64) wrong")
+	}
+}
+
+func TestColSetPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Add 64":       func() { ColSet(0).Add(64) },
+		"Add negative": func() { ColSet(0).Add(-1) },
+		"AllCols 65":   func() { AllCols(65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

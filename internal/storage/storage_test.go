@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"testing"
+
+	"coopscan/internal/colstore/compress"
+)
+
+func testTable() *Table {
+	return &Table{
+		Name: "t",
+		Columns: []Column{
+			{Name: "a", Type: Int64, Compression: compress.Raw, BitsPerValue: 64},
+			{Name: "b", Type: Int64, Compression: compress.PFORDelta, BitsPerValue: 3},
+			{Name: "c", Type: String, Compression: compress.PDict, BitsPerValue: 2},
+		},
+		Rows: 1_000_000,
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := testTable()
+	if tab.NumColumns() != 3 {
+		t.Fatalf("NumColumns = %d", tab.NumColumns())
+	}
+	if i := tab.ColumnIndex("b"); i != 1 {
+		t.Errorf("ColumnIndex(b) = %d", i)
+	}
+	if i := tab.ColumnIndex("zz"); i != -1 {
+		t.Errorf("ColumnIndex(zz) = %d", i)
+	}
+	if s := tab.MustCols("a", "c"); s != Cols(0, 2) {
+		t.Errorf("MustCols = %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCols with unknown name should panic")
+		}
+	}()
+	tab.MustCols("nope")
+}
+
+func TestNSMTupleBytes(t *testing.T) {
+	tab := testTable()
+	// a: 8, b: 8 (NSM stores uncompressed), c: 2 bits/8 = 0.25 bytes avg.
+	want := 8.0 + 8.0 + 0.25
+	if got := tab.NSMTupleBytes(); got != want {
+		t.Errorf("NSMTupleBytes = %v, want %v", got, want)
+	}
+}
+
+func TestNSMLayoutChunking(t *testing.T) {
+	tab := &Table{Name: "t", Rows: 1000,
+		Columns: []Column{{Name: "a", Type: Int64, BitsPerValue: 64}}}
+	l := NewNSMLayout(tab, 800, 0) // 100 tuples per 800-byte chunk
+	if l.TuplesPerChunk() != 100 {
+		t.Fatalf("TuplesPerChunk = %d", l.TuplesPerChunk())
+	}
+	if l.NumChunks() != 10 {
+		t.Fatalf("NumChunks = %d", l.NumChunks())
+	}
+	if got := l.ChunkTuples(9); got != 100 {
+		t.Errorf("last chunk tuples = %d", got)
+	}
+	ex := l.Extents(3, 0)
+	if len(ex) != 1 || ex[0].Pos != 2400 || ex[0].Size != 800 || ex[0].Col != -1 {
+		t.Errorf("Extents(3) = %+v", ex)
+	}
+	if l.ChunkBytes(3, 0) != 800 {
+		t.Errorf("ChunkBytes = %d", l.ChunkBytes(3, 0))
+	}
+	if l.Columnar() {
+		t.Error("NSM should not be columnar")
+	}
+}
+
+func TestNSMLayoutPartialLastChunk(t *testing.T) {
+	tab := &Table{Name: "t", Rows: 250,
+		Columns: []Column{{Name: "a", Type: Int64, BitsPerValue: 64}}}
+	l := NewNSMLayout(tab, 800, 0)
+	if l.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d", l.NumChunks())
+	}
+	if got := l.ChunkTuples(2); got != 50 {
+		t.Errorf("last chunk tuples = %d, want 50", got)
+	}
+	var total int64
+	for c := 0; c < l.NumChunks(); c++ {
+		total += l.ChunkTuples(c)
+	}
+	if total != 250 {
+		t.Errorf("chunk tuples sum to %d, want 250", total)
+	}
+}
+
+func TestDSMLayoutExtents(t *testing.T) {
+	tab := testTable()
+	l := NewDSMLayout(tab, 100_000, 4096, 0)
+	if l.NumChunks() != 10 {
+		t.Fatalf("NumChunks = %d", l.NumChunks())
+	}
+	if !l.Columnar() {
+		t.Error("DSM should be columnar")
+	}
+	// Column a: 8 B/tuple -> 100k tuples = 800 000 B ≈ 196 pages per chunk.
+	exA := l.Extents(0, Cols(0))
+	if len(exA) != 1 {
+		t.Fatalf("extents = %+v", exA)
+	}
+	if exA[0].Size < 800_000 || exA[0].Size > 800_000+2*4096 {
+		t.Errorf("column a chunk size = %d, want ~800000", exA[0].Size)
+	}
+	// Column b: 3 bits/tuple -> 37 500 B per chunk, ~10 pages.
+	exB := l.Extents(0, Cols(1))
+	if exB[0].Size < 37_500 || exB[0].Size > 37_500+2*4096 {
+		t.Errorf("column b chunk size = %d, want ~37500", exB[0].Size)
+	}
+	// A wide-column chunk must dwarf a narrow-column chunk.
+	if exA[0].Size < 10*exB[0].Size {
+		t.Errorf("density mismatch: a=%d b=%d", exA[0].Size, exB[0].Size)
+	}
+	// Multi-column request returns one extent per column.
+	if got := len(l.Extents(0, Cols(0, 1, 2))); got != 3 {
+		t.Errorf("multi-column extents = %d", got)
+	}
+}
+
+func TestDSMAdjacentChunksSharePages(t *testing.T) {
+	tab := testTable()
+	l := NewDSMLayout(tab, 100_000, 4096, 0)
+	// For the 3-bit column, chunk boundaries land mid-page: the last page of
+	// chunk c must be the first page of chunk c+1.
+	f0, l0 := l.ColumnPageRange(0, 1)
+	f1, l1 := l.ColumnPageRange(1, 1)
+	if l0-1 != f1 {
+		t.Errorf("chunks 0/1 of col b: [%d,%d) then [%d,%d): no shared boundary page", f0, l0, f1, l1)
+	}
+}
+
+func TestDSMColumnsDoNotOverlapOnDevice(t *testing.T) {
+	tab := testTable()
+	l := NewDSMLayout(tab, 100_000, 4096, 1<<20)
+	last := int64(0)
+	for col := 0; col < tab.NumColumns(); col++ {
+		first, _ := l.ColumnPageRange(0, col)
+		ex := l.Extents(0, Cols(col))
+		if ex[0].Pos < last {
+			t.Errorf("column %d extent %d overlaps previous column end %d", col, ex[0].Pos, last)
+		}
+		_, lastPage := l.ColumnPageRange(l.NumChunks()-1, col)
+		end := ex[0].Pos - first*4096 + lastPage*4096
+		last = end
+	}
+	if l.TotalBytes() <= 0 {
+		t.Error("TotalBytes should be positive")
+	}
+}
+
+func TestDSMChunkTuplesLastShort(t *testing.T) {
+	tab := testTable()
+	tab.Rows = 950_000
+	l := NewDSMLayout(tab, 100_000, 4096, 0)
+	if l.NumChunks() != 10 {
+		t.Fatalf("NumChunks = %d", l.NumChunks())
+	}
+	if got := l.ChunkTuples(9); got != 50_000 {
+		t.Errorf("last chunk tuples = %d, want 50000", got)
+	}
+}
+
+func TestLayoutPanicsOnBadChunk(t *testing.T) {
+	tab := testTable()
+	nsm := NewNSMLayout(tab, 1<<20, 0)
+	dsm := NewDSMLayout(tab, 100_000, 4096, 0)
+	for name, f := range map[string]func(){
+		"nsm negative":  func() { nsm.ChunkTuples(-1) },
+		"nsm beyond":    func() { nsm.Extents(nsm.NumChunks(), 0) },
+		"dsm beyond":    func() { dsm.ChunkBytes(dsm.NumChunks(), Cols(0)) },
+		"dsm bad col":   func() { dsm.ColumnPageRange(0, 99) },
+		"dsm wide cols": func() { dsm.Extents(0, Cols(63)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

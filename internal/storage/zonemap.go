@@ -1,0 +1,63 @@
+package storage
+
+import "math"
+
+// ZoneMap holds per-chunk min/max values for one integer column, the
+// "small materialized aggregates" / Netezza-zonemap style metadata the paper
+// describes in §2(2). Range predicates are evaluated against it to build
+// multi-range scan requests that skip chunks which cannot contain matches.
+type ZoneMap struct {
+	min, max []int64
+}
+
+// NewZoneMap creates a zonemap for n chunks with inverted (empty) bounds.
+func NewZoneMap(n int) *ZoneMap {
+	zm := &ZoneMap{min: make([]int64, n), max: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		zm.min[i] = math.MaxInt64
+		zm.max[i] = math.MinInt64
+	}
+	return zm
+}
+
+// NumChunks returns the number of chunks the map covers.
+func (z *ZoneMap) NumChunks() int { return len(z.min) }
+
+// Observe folds value v of chunk c into the bounds.
+func (z *ZoneMap) Observe(c int, v int64) {
+	if v < z.min[c] {
+		z.min[c] = v
+	}
+	if v > z.max[c] {
+		z.max[c] = v
+	}
+}
+
+// SetBounds sets the bounds of chunk c directly (for synthetic metadata).
+func (z *ZoneMap) SetBounds(c int, lo, hi int64) {
+	z.min[c], z.max[c] = lo, hi
+}
+
+// Bounds returns the recorded bounds of chunk c.
+func (z *ZoneMap) Bounds(c int) (lo, hi int64) { return z.min[c], z.max[c] }
+
+// Prune returns the chunks whose value range intersects [lo, hi], as a
+// normalised RangeSet: the scan plan for a range predicate on this column.
+func (z *ZoneMap) Prune(lo, hi int64) RangeSet {
+	var ranges []Range
+	start := -1
+	for c := 0; c < len(z.min); c++ {
+		hit := z.min[c] <= hi && z.max[c] >= lo && z.min[c] <= z.max[c]
+		if hit && start < 0 {
+			start = c
+		}
+		if !hit && start >= 0 {
+			ranges = append(ranges, Range{start, c})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		ranges = append(ranges, Range{start, len(z.min)})
+	}
+	return NewRangeSet(ranges...)
+}

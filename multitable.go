@@ -1,0 +1,167 @@
+package coopscan
+
+import (
+	"fmt"
+
+	"coopscan/internal/core"
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+)
+
+// MultiSystem runs cooperative scans over several tables that share one
+// disk, one CPU pool and one buffer budget — the paper's §7.1 requirement
+// that a production CScan "keep track of multiple tables, keeping separate
+// statistics and meta-data for each". Each table gets its own ABM instance
+// (chunk map, query registry, policy state); the device arbitrates between
+// them and the buffer budget is split proportionally to table footprint.
+type MultiSystem struct {
+	env *sim.Env
+	dsk *disk.Disk
+	cpu *sim.Resource
+	mgr *core.Manager
+	cfg Config
+
+	layouts  map[string]Layout
+	nStreams int
+	pending  int
+	results  []scanSlot
+	ran      bool
+}
+
+// TableScan is a Scan targeted at a named table of a MultiSystem.
+type TableScan struct {
+	// Table names the layout the scan reads (Table().Name).
+	Table string
+	Scan
+}
+
+// NewMultiSystem creates a system over the given layouts. Config.BufferBytes
+// is the total budget, divided across tables proportionally to size with a
+// one-chunk floor each.
+func NewMultiSystem(layouts []Layout, cfg Config) *MultiSystem {
+	if len(layouts) == 0 {
+		panic("coopscan: NewMultiSystem with no layouts")
+	}
+	if cfg.CPUCores == 0 {
+		cfg.CPUCores = 2
+	}
+	if cfg.Disk.Bandwidth == 0 {
+		cfg.Disk = disk.DefaultParams()
+	}
+	if cfg.CPUQuantum == 0 {
+		cfg.CPUQuantum = 0.01
+	}
+	env := sim.NewEnv()
+	d := disk.New(env, cfg.Disk)
+	mgr := core.NewManager(env, d, core.Config{
+		Policy:          cfg.Policy,
+		StarveThreshold: cfg.StarveThreshold,
+		ElevatorWindow:  cfg.ElevatorWindow,
+		Prefetch:        cfg.Prefetch,
+	})
+	// Floor each table's share at one full-width chunk so every ABM can
+	// make progress.
+	var maxChunk int64 = 1
+	for _, l := range layouts {
+		cb := l.ChunkBytes(0, AllCols(min(l.Table().NumColumns(), 64)))
+		if cb > maxChunk {
+			maxChunk = cb
+		}
+	}
+	shares := core.SplitBuffer(cfg.BufferBytes, maxChunk, layouts...)
+	ms := &MultiSystem{
+		env: env, dsk: d, cpu: env.NewResource("cpu", cfg.CPUCores),
+		mgr: mgr, cfg: cfg, layouts: make(map[string]Layout, len(layouts)),
+	}
+	for i, l := range layouts {
+		ms.layouts[l.Table().Name] = l
+		mgr.Attach(l, shares[i])
+	}
+	return ms
+}
+
+// UseCScan reports whether scans of the named table go through the
+// cooperative machinery (§7.1: small tables fall back to plain Scan —
+// which in this implementation is simply a one-query normal-policy pass,
+// so the answer is advisory).
+func (ms *MultiSystem) UseCScan(table string) bool { return ms.mgr.UseCScan(table) }
+
+// AddStream schedules table-scans to run sequentially from startAt.
+func (ms *MultiSystem) AddStream(startAt float64, scans ...TableScan) {
+	if ms.ran {
+		panic("coopscan: AddStream after Run")
+	}
+	if len(scans) == 0 {
+		panic("coopscan: empty stream")
+	}
+	for _, sc := range scans {
+		if _, ok := ms.layouts[sc.Table]; !ok {
+			panic(fmt.Sprintf("coopscan: unknown table %q", sc.Table))
+		}
+		if sc.Ranges.Empty() {
+			panic(fmt.Sprintf("coopscan: scan %q has no ranges", sc.Name))
+		}
+	}
+	streamIdx := ms.nStreams
+	ms.nStreams++
+	base := len(ms.results)
+	for range scans {
+		ms.results = append(ms.results, scanSlot{stream: streamIdx})
+	}
+	ms.pending++
+	scans = append([]TableScan(nil), scans...)
+	ms.env.ProcessAt(fmt.Sprintf("stream-%d", streamIdx), startAt, func(p *sim.Proc) {
+		for i, sc := range scans {
+			layout := ms.layouts[sc.Table]
+			abm, _ := ms.mgr.For(sc.Table)
+			fullTuples := layout.ChunkTuples(0)
+			q := abm.NewQuery(sc.Name, sc.Ranges, sc.Columns)
+			opts := core.ScanOptions{CPU: ms.cpu, Quantum: ms.cfg.CPUQuantum}
+			if sc.CPUPerChunk > 0 {
+				per := sc.CPUPerChunk
+				opts.Cost = func(_ int, tuples int64) float64 {
+					if fullTuples <= 0 {
+						return per
+					}
+					return per * float64(tuples) / float64(fullTuples)
+				}
+			}
+			if sc.OnChunk != nil {
+				hook := sc.OnChunk
+				opts.OnChunk = func(chunk int) {
+					hook(chunk, int64(chunk)*fullTuples, layout.ChunkTuples(chunk))
+				}
+			}
+			ms.results[base+i].stats = core.RunCScan(p, abm, q, opts)
+		}
+		ms.pending--
+		if ms.pending == 0 {
+			ms.mgr.Shutdown()
+		}
+	})
+}
+
+// Run executes all streams and returns the combined report.
+func (ms *MultiSystem) Run() (*Report, error) {
+	if ms.ran {
+		return nil, fmt.Errorf("coopscan: Run called twice")
+	}
+	if ms.nStreams == 0 {
+		return nil, fmt.Errorf("coopscan: no streams added")
+	}
+	ms.ran = true
+	if err := ms.env.Run(0); err != nil {
+		return nil, fmt.Errorf("coopscan: simulation stuck: %w", err)
+	}
+	rep := &Report{
+		System:         ms.mgr.Stats(),
+		Disk:           ms.dsk.Stats(),
+		Elapsed:        ms.env.Now(),
+		CPUUtilisation: ms.cpu.Utilisation(),
+	}
+	for _, slot := range ms.results {
+		rep.Scans = append(rep.Scans, slot.stats)
+		rep.Streams = append(rep.Streams, slot.stream)
+	}
+	return rep, nil
+}

@@ -1,0 +1,112 @@
+package coopscan_test
+
+import (
+	"strings"
+	"testing"
+
+	"coopscan"
+	"coopscan/internal/tpch"
+)
+
+func multiLayouts() []coopscan.Layout {
+	facts := tpch.LineitemTable(0.5)
+	facts.Name = "facts"
+	history := tpch.LineitemTable(0.25)
+	history.Name = "history"
+	return []coopscan.Layout{
+		coopscan.NewRowLayoutWidth(facts, 1<<20, 72),
+		coopscan.NewRowLayoutWidth(history, 1<<20, 72),
+	}
+}
+
+func TestMultiSystemScansBothTables(t *testing.T) {
+	layouts := multiLayouts()
+	ms := coopscan.NewMultiSystem(layouts, coopscan.Config{
+		Policy:      coopscan.Relevance,
+		BufferBytes: 24 << 20,
+		Disk:        coopscan.DiskParams{Bandwidth: 50 << 20, SeekTime: 2e-3},
+	})
+	ms.AddStream(0,
+		coopscan.TableScan{Table: "facts", Scan: coopscan.Scan{
+			Name: "f1", Ranges: coopscan.FullTable(layouts[0]), CPUPerChunk: 0.01}},
+		coopscan.TableScan{Table: "history", Scan: coopscan.Scan{
+			Name: "h1", Ranges: coopscan.FullTable(layouts[1]), CPUPerChunk: 0.01}},
+	)
+	ms.AddStream(0.5,
+		coopscan.TableScan{Table: "facts", Scan: coopscan.Scan{
+			Name: "f2", Ranges: coopscan.FullTable(layouts[0]), CPUPerChunk: 0.02}},
+	)
+	rep, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scans) != 3 {
+		t.Fatalf("scans = %d", len(rep.Scans))
+	}
+	want := []int{layouts[0].NumChunks(), layouts[1].NumChunks(), layouts[0].NumChunks()}
+	for i, s := range rep.Scans {
+		if s.Chunks != want[i] {
+			t.Errorf("%s consumed %d chunks, want %d", s.Query, s.Chunks, want[i])
+		}
+	}
+	// The concurrent facts scans share I/O: fewer requests than two cold
+	// passes plus the history pass.
+	cold := 2*layouts[0].NumChunks() + layouts[1].NumChunks()
+	if rep.System.IORequests >= cold {
+		t.Errorf("requests %d show no sharing (cold total %d)", rep.System.IORequests, cold)
+	}
+	if rep.Disk.Requests != rep.System.IORequests {
+		t.Errorf("device/manager accounting mismatch: %d vs %d", rep.Disk.Requests, rep.System.IORequests)
+	}
+}
+
+func TestMultiSystemSmallTableAdvice(t *testing.T) {
+	big := tpch.LineitemTable(0.5)
+	big.Name = "big"
+	tiny := tpch.LineitemTable(0.004)
+	tiny.Name = "tiny"
+	layouts := []coopscan.Layout{
+		coopscan.NewRowLayoutWidth(big, 1<<20, 72),
+		coopscan.NewRowLayoutWidth(tiny, 1<<20, 72),
+	}
+	ms := coopscan.NewMultiSystem(layouts, coopscan.Config{
+		Policy: coopscan.Relevance, BufferBytes: 16 << 20,
+		Disk: coopscan.DiskParams{Bandwidth: 50 << 20, SeekTime: 2e-3},
+	})
+	if !ms.UseCScan("big") {
+		t.Error("big table should use CScan")
+	}
+	if ms.UseCScan("tiny") {
+		t.Error("tiny table should fall back to Scan (§7.1)")
+	}
+	if ms.UseCScan("absent") {
+		t.Error("unknown table should not use CScan")
+	}
+}
+
+func TestMultiSystemValidation(t *testing.T) {
+	layouts := multiLayouts()
+	cfg := coopscan.Config{Policy: coopscan.Normal, BufferBytes: 16 << 20,
+		Disk: coopscan.DiskParams{Bandwidth: 50 << 20}}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no layouts should panic")
+			}
+		}()
+		coopscan.NewMultiSystem(nil, cfg)
+	}()
+	ms := coopscan.NewMultiSystem(layouts, cfg)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown table should panic")
+			}
+		}()
+		ms.AddStream(0, coopscan.TableScan{Table: "nope", Scan: coopscan.Scan{
+			Name: "x", Ranges: coopscan.FullTable(layouts[0])}})
+	}()
+	if _, err := ms.Run(); err == nil || !strings.Contains(err.Error(), "no streams") {
+		t.Errorf("Run without streams: %v", err)
+	}
+}
