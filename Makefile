@@ -1,0 +1,29 @@
+# Build, test and benchmark entry points. `make bench-json` appends the
+# benchmark record of this PR's scheduler to BENCH_PR1.json so the perf
+# trajectory is tracked in-repo from PR 1 onward.
+
+GO        ?= go
+BENCHTIME ?= 3x
+BENCH_OUT ?= BENCH_PR1.json
+
+.PHONY: build test vet fmt-check bench bench-json
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

@@ -87,6 +87,22 @@ func BenchmarkFig8(b *testing.B) {
 	b.ReportMetric(perDecision, "sched-µs/decision")
 }
 
+// BenchmarkSchedulerScaling measures the relevance scheduler's decision
+// cost at high concurrency (the large-scale extension of Figure 8): the
+// ns/decision metric at the 64-query point is the acceptance gauge for the
+// incremental scheduler, and -benchmem's allocs/op tracks its allocation
+// behaviour.
+func BenchmarkSchedulerScaling(b *testing.B) {
+	var r *experiments.SchedScalingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.SchedScaling(experiments.QuickSchedScaling())
+	}
+	last := r.Points[len(r.Points)-1]
+	b.ReportMetric(last.PerDecision, "sched-ns/decision")
+	b.ReportMetric(float64(last.Decisions), "decisions")
+	b.ReportMetric(float64(last.IORequests), "ios")
+}
+
 // BenchmarkTable3 regenerates the DSM policy comparison (Table 3).
 func BenchmarkTable3(b *testing.B) {
 	var last []workload.Result

@@ -1,0 +1,3 @@
+module coopscan
+
+go 1.24

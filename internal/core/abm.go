@@ -18,6 +18,43 @@
 // the scheduling decisions — as in the paper's Cooperative Scans framework,
 // which "can run the basic normal, attach and elevator policies" next to
 // relevance.
+//
+// # Incremental relevance scheduling
+//
+// The paper's §4 implementation concern (measured in its Figure 8) is that
+// relevance scheduling cost grows with the number of concurrent queries and
+// chunks. A naive implementation pays O(queries × poolParts) per decision
+// round just to recompute starvation, plus O(queries) per candidate chunk
+// inside loadRelevance/keepRelevance — O(queries × chunks) per decision.
+// This package instead maintains the scheduler's derived state
+// incrementally, at the events that change it:
+//
+//   - Query.availList/availPos index each query's needed, fully resident
+//     chunks. A part load, eviction or chunk consumption adjusts only the
+//     affected queries (O(queries) bit tests per part event), so starvation
+//     checks are O(1) flag reads and chooseAvailableChunk iterates one
+//     query's available chunks, not the pool.
+//   - Query.starved/almostStarved flip only when the availability count
+//     crosses the configured thresholds; each flip is folded into the
+//     per-chunk ABM.starvedInterest/almostInterest counters (alongside the
+//     long-standing interestCount) with one walk over the query's remaining
+//     range. The NSM loadRelevance and keepRelevance then read a counter
+//     instead of scanning every registered query per candidate chunk. (The
+//     DSM branches still iterate registered queries for their column-overlap
+//     terms — flattening those is an open ROADMAP item.)
+//   - bufcache.residentCols/loadingCols hold per-chunk residency bit sets,
+//     making "is chunk c resident / in flight for these columns?" a single
+//     bit test, and bufcache.occupied lists the chunks with buffered parts
+//     so registration seeds availability without a table scan.
+//
+// The resulting per-decision cost is O(affected entries): selecting a load
+// candidate walks the starved queries and one query's remaining range with
+// O(1) scoring; selecting an available chunk walks that query's available
+// list. Eviction passes still scan the pool once per freed part (they need
+// a global minimum), but score each candidate in O(1) for NSM. Decision
+// *outcomes* are bit-identical to the rescanning implementation: eviction
+// passes snapshot the starvation state exactly where the old code
+// recomputed it, so mid-pass flips cannot change victim choice.
 package core
 
 import (
@@ -133,6 +170,14 @@ type ABM struct {
 	// the common (NSM) case.
 	interestCount []int
 
+	// starvedInterest[c] / almostInterest[c] count the currently starved
+	// (resp. almost-starved) queries that still need chunk c. They are
+	// updated only when a query's starvation state flips or a needed chunk
+	// is consumed, so loadRelevance and keepRelevance read them in O(1)
+	// instead of scanning every registered query per candidate chunk.
+	starvedInterest []int
+	almostInterest  []int
+
 	// assembling marks parts a demand-driven scan is currently gathering
 	// into a complete chunk; eviction avoids them (the paper's §6.2
 	// "already-loaded part of the chunk is marked as used, which prohibits
@@ -175,13 +220,15 @@ type strategy interface {
 func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
 	cfg = cfg.withDefaults()
 	a := &ABM{
-		env:           env,
-		disk:          d,
-		layout:        layout,
-		cfg:           cfg,
-		cache:         newBufcache(layout, cfg.BufferBytes),
-		interestCount: make([]int, layout.NumChunks()),
-		assembling:    make(map[partKey]int),
+		env:             env,
+		disk:            d,
+		layout:          layout,
+		cfg:             cfg,
+		cache:           newBufcache(layout, cfg.BufferBytes),
+		interestCount:   make([]int, layout.NumChunks()),
+		starvedInterest: make([]int, layout.NumChunks()),
+		almostInterest:  make([]int, layout.NumChunks()),
+		assembling:      make(map[partKey]int),
 	}
 	a.activity = env.NewSignal("abm-activity")
 	avg := layout.ChunkBytes(0, storage.AllCols(min(layout.Table().NumColumns(), storage.MaxColumns)))
@@ -230,8 +277,12 @@ func (a *ABM) NewQuery(name string, ranges storage.RangeSet, cols storage.ColSet
 	a.nextID++
 	q := &Query{
 		ID: a.nextID, Name: name, Ranges: ranges, Cols: cols,
-		needed: make([]bool, a.layout.NumChunks()),
-		cursor: ranges.Min(),
+		needed:   make([]bool, a.layout.NumChunks()),
+		availPos: make([]int, a.layout.NumChunks()),
+		cursor:   ranges.Min(),
+	}
+	for c := range q.availPos {
+		q.availPos[c] = -1
 	}
 	ranges.Each(func(c int) { q.needed[c] = true; q.neededCount++ })
 	return q
@@ -251,6 +302,16 @@ func (a *ABM) Register(q *Query) {
 			a.interestCount[c]++
 		}
 	}
+	// Seed the availability index from the chunks already buffered: only
+	// occupied chunks can be resident, so this is bounded by the pool.
+	cols := a.queryCols(q)
+	for _, c := range a.cache.occupiedChunks() {
+		if q.needs(c) && a.cache.chunkLoadedFor(cols, c) {
+			q.availPos[c] = len(q.availList)
+			q.availList = append(q.availList, c)
+		}
+	}
+	a.updateStarveFlags(q)
 	a.strat.register(q)
 	a.activity.Broadcast()
 }
@@ -266,8 +327,15 @@ func (a *ABM) unregister(q *Query) {
 	for c := 0; c < len(q.needed); c++ {
 		if q.needed[c] {
 			a.interestCount[c]--
+			if q.starved {
+				a.starvedInterest[c]--
+			}
+			if q.almostStarved {
+				a.almostInterest[c]--
+			}
 		}
 	}
+	q.starved, q.almostStarved = false, false
 	a.strat.unregister(q)
 	a.activity.Broadcast()
 }
@@ -281,13 +349,19 @@ func (a *ABM) Next(p *sim.Proc, q *Query) (int, bool) {
 }
 
 // Release returns chunk c after processing: parts are unpinned, the chunk
-// is marked consumed, and interested parties are woken.
+// is marked consumed, the consuming query's availability and the chunk's
+// interest counters are adjusted, and interested parties are woken.
 func (a *ABM) Release(q *Query, c int) {
-	for _, k := range a.cache.partsFor(a.queryCols(q), c) {
-		a.cache.unpin(k, a.env.Now())
-	}
+	a.cache.unpinAll(a.queryCols(q), c, a.env.Now())
 	q.markConsumed(c)
 	a.interestCount[c]--
+	if q.starved {
+		a.starvedInterest[c]--
+	}
+	if q.almostStarved {
+		a.almostInterest[c]--
+	}
+	a.loseAvailability(q, c)
 	q.lastService = a.env.Now()
 	a.strat.consumed(q, c)
 	a.activity.Broadcast()
@@ -325,11 +399,11 @@ func (a *ABM) queryCols(q *Query) storage.ColSet {
 	return q.Cols
 }
 
-// availableCount counts chunks that are needed by q and fully resident for
-// q's columns, stopping early at limit (starvation checks need only a few).
-// It iterates the loaded parts (bounded by the pool size) rather than the
-// table, using the query's lowest column as the anchor so each candidate
-// chunk is considered once.
+// availableCount recounts the chunks that are needed by q and fully
+// resident for q's columns by scanning the loaded parts, stopping early at
+// limit. It is the from-scratch reference for the incrementally maintained
+// Query.availList (tests assert the two always agree); the scheduler itself
+// only reads the maintained state.
 func (a *ABM) availableCount(q *Query, limit int) int {
 	cols := a.queryCols(q)
 	anchor := anchorCol(a.layout.Columnar(), cols)
@@ -363,12 +437,101 @@ func anchorCol(columnar bool, cols storage.ColSet) int {
 	return -1
 }
 
-func (a *ABM) starved(q *Query) bool {
-	return a.availableCount(q, a.cfg.StarveThreshold) < a.cfg.StarveThreshold
+func (a *ABM) starved(q *Query) bool       { return q.starved }
+func (a *ABM) almostStarved(q *Query) bool { return q.almostStarved }
+
+// updateStarveFlags re-derives q's starvation flags from the maintained
+// availability count and folds any flip into the per-chunk starved/almost
+// interest counters with one walk over the query's remaining range.
+func (a *ABM) updateStarveFlags(q *Query) {
+	starved := q.available() < a.cfg.StarveThreshold
+	almost := q.available() < a.cfg.StarveThreshold+1
+	if starved != q.starved {
+		q.starved = starved
+		a.bumpNeededCounts(a.starvedInterest, q, flipDelta(starved))
+	}
+	if almost != q.almostStarved {
+		q.almostStarved = almost
+		a.bumpNeededCounts(a.almostInterest, q, flipDelta(almost))
+	}
 }
 
-func (a *ABM) almostStarved(q *Query) bool {
-	return a.availableCount(q, a.cfg.StarveThreshold+1) < a.cfg.StarveThreshold+1
+func flipDelta(on bool) int {
+	if on {
+		return 1
+	}
+	return -1
+}
+
+// bumpNeededCounts adds delta to counts[c] for every chunk q still needs,
+// walking only the query's own range span.
+func (a *ABM) bumpNeededCounts(counts []int, q *Query, delta int) {
+	lo, hi := q.Ranges.Min(), q.Ranges.Max()
+	for c := lo; c <= hi; c++ {
+		if q.needed[c] {
+			counts[c] += delta
+		}
+	}
+}
+
+// gainAvailability records that chunk c became fully resident for q.
+func (a *ABM) gainAvailability(q *Query, c int) {
+	if q.availPos[c] >= 0 {
+		return
+	}
+	q.availPos[c] = len(q.availList)
+	q.availList = append(q.availList, c)
+	a.updateStarveFlags(q)
+}
+
+// loseAvailability records that chunk c is no longer both needed by q and
+// fully resident (consumed, or a required part is about to be evicted).
+func (a *ABM) loseAvailability(q *Query, c int) {
+	i := q.availPos[c]
+	if i < 0 {
+		return
+	}
+	last := len(q.availList) - 1
+	moved := q.availList[last]
+	q.availList[i] = moved
+	q.availPos[moved] = i
+	q.availList = q.availList[:last]
+	q.availPos[c] = -1
+	a.updateStarveFlags(q)
+}
+
+// partBecameResident propagates one part load into the per-query
+// availability state: a query gains the chunk iff it needs it, reads the
+// loaded column, and the chunk is now fully resident for its column set.
+func (a *ABM) partBecameResident(k partKey) {
+	bit := colBit(k.col)
+	res := a.cache.residentCols[k.chunk]
+	for _, q := range a.queries {
+		req := a.cache.requiredBits(a.queryCols(q))
+		if req&bit != 0 && req&^res == 0 && q.needs(k.chunk) {
+			a.gainAvailability(q, k.chunk)
+		}
+	}
+}
+
+// partLeavingResidency is partBecameResident's inverse, called while the
+// part's residency bit is still set (just before eviction).
+func (a *ABM) partLeavingResidency(k partKey) {
+	bit := colBit(k.col)
+	res := a.cache.residentCols[k.chunk]
+	for _, q := range a.queries {
+		req := a.cache.requiredBits(a.queryCols(q))
+		if req&bit != 0 && req&^res == 0 && q.needs(k.chunk) {
+			a.loseAvailability(q, k.chunk)
+		}
+	}
+}
+
+// evictPart evicts one part, keeping the availability state consistent.
+func (a *ABM) evictPart(k partKey) {
+	a.partLeavingResidency(k)
+	a.cache.evict(k)
+	a.stats.Evictions++
 }
 
 // interested counts registered queries that still need chunk c; with a
@@ -392,7 +555,8 @@ func (a *ABM) interested(c int, overlap storage.ColSet) int {
 // are loaded smallest-first (the paper's DSM column load order). The caller
 // must have ensured buffer space. Returns the number of I/O requests issued.
 func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) int {
-	keys := a.cache.partsFor(cols, c)
+	var kb [storage.MaxColumns]partKey
+	keys := a.cache.partsInto(kb[:0], cols, c)
 	// Smallest column first, so queries needing few columns wake earlier.
 	sortPartsBySize(a.cache, keys)
 	requests := 0
@@ -417,6 +581,7 @@ func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) in
 			}
 		}
 		a.cache.finishLoad(k, a.env.Now())
+		a.partBecameResident(k)
 		a.stats.Loads++
 		a.activity.Broadcast()
 	}
@@ -424,14 +589,20 @@ func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) in
 }
 
 // coldBytesFor returns the cold bytes required to make chunk c resident
-// for cols.
+// for cols. Absent parts are found with one bit test; only they pay the
+// page-map walk.
 func (a *ABM) coldBytesFor(c int, cols storage.ColSet) int64 {
-	var n int64
-	for _, k := range a.cache.partsFor(cols, c) {
-		if a.cache.state(k) == partAbsent {
-			n += a.cache.coldBytes(k)
-		}
+	absent := a.cache.absentBits(cols, c)
+	if absent == 0 {
+		return 0
 	}
+	if !a.layout.Columnar() {
+		return a.cache.coldBytes(partKey{chunk: c, col: -1})
+	}
+	var n int64
+	absent.Each(func(col int) {
+		n += a.cache.coldBytes(partKey{chunk: c, col: col})
+	})
 	return n
 }
 
@@ -460,8 +631,7 @@ func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) flo
 		if victim == nil {
 			return false
 		}
-		a.cache.evict(victim.key)
-		a.stats.Evictions++
+		a.evictPart(victim.key)
 	}
 	return true
 }

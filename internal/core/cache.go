@@ -37,10 +37,26 @@ type part struct {
 	lastTouch float64 // last load or consumption, for LRU
 }
 
+// colBit maps a part column to its bit in the per-chunk residency sets. The
+// NSM pseudo-column -1 uses bit 0; no clash is possible because a layout is
+// either row-wise (only col -1 parts exist) or columnar (only cols >= 0).
+func colBit(col int) storage.ColSet {
+	if col < 0 {
+		return 1
+	}
+	return storage.ColSet(1) << uint(col)
+}
+
 // bufcache is the buffer pool underneath all policies. It accounts space at
 // page granularity so DSM chunks whose extents share boundary pages do not
 // double-count, and so loading a chunk next to an already-buffered one reads
 // fewer cold bytes — the logical-chunk/physical-page mismatch of paper §6.1.
+//
+// Beyond the per-part map, the cache maintains a per-chunk residency index
+// (residentCols, loadingCols, occupied) so the scheduling hot paths —
+// "which columns of chunk c are resident / in flight?", "which chunks have
+// buffered parts at all?" — are O(1) bit tests and bounded iterations
+// instead of pool scans.
 type bufcache struct {
 	layout    storage.Layout
 	pageBytes int64
@@ -50,6 +66,13 @@ type bufcache struct {
 	pageRefs map[int64]int     // device page index -> #loaded parts using it
 	parts    map[partKey]*part // all non-absent parts
 	loaded   []*part           // stable-order slice of loaded/loading parts
+
+	// Per-chunk incremental residency index.
+	residentCols []storage.ColSet // colBit set iff the part is partLoaded
+	loadingCols  []storage.ColSet // colBit set iff the part is partLoading
+	partCount    []int            // non-absent parts per chunk
+	occupied     []int            // chunks with >= 1 non-absent part
+	occupiedPos  []int            // chunk -> index in occupied, or -1
 }
 
 func newBufcache(layout storage.Layout, capBytes int64) *bufcache {
@@ -63,33 +86,57 @@ func newBufcache(layout storage.Layout, capBytes int64) *bufcache {
 	if capBytes < pageBytes {
 		panic(fmt.Sprintf("core: buffer capacity %d smaller than one page (%d)", capBytes, pageBytes))
 	}
-	return &bufcache{
-		layout:    layout,
-		pageBytes: pageBytes,
-		capBytes:  capBytes,
-		pageRefs:  make(map[int64]int),
-		parts:     make(map[partKey]*part),
+	n := layout.NumChunks()
+	b := &bufcache{
+		layout:       layout,
+		pageBytes:    pageBytes,
+		capBytes:     capBytes,
+		pageRefs:     make(map[int64]int),
+		parts:        make(map[partKey]*part),
+		residentCols: make([]storage.ColSet, n),
+		loadingCols:  make([]storage.ColSet, n),
+		partCount:    make([]int, n),
+		occupiedPos:  make([]int, n),
 	}
+	for c := range b.occupiedPos {
+		b.occupiedPos[c] = -1
+	}
+	return b
+}
+
+// requiredBits maps a query's column set to the residency bits a chunk must
+// have for the chunk to count as resident for that query: the NSM pseudo-
+// column bit for row-wise layouts, the column bits themselves for DSM.
+func (b *bufcache) requiredBits(cols storage.ColSet) storage.ColSet {
+	if !b.layout.Columnar() {
+		return 1
+	}
+	return cols
 }
 
 // partsFor returns the parts query cols need for chunk c: per-column in
-// DSM, a single col==-1 part in NSM.
+// DSM, a single col==-1 part in NSM. It allocates; hot paths use partsInto
+// or the residency bit sets instead.
 func (b *bufcache) partsFor(cols storage.ColSet, c int) []partKey {
-	if !b.layout.Columnar() {
-		return []partKey{{chunk: c, col: -1}}
-	}
-	out := make([]partKey, 0, cols.Count())
-	cols.Each(func(col int) { out = append(out, partKey{chunk: c, col: col}) })
-	return out
+	return b.partsInto(make([]partKey, 0, cols.Count()+1), cols, c)
 }
 
-// extentOf returns the single disk extent backing a part.
-func (b *bufcache) extentOf(k partKey) storage.Extent {
-	if k.col < 0 {
-		return b.layout.Extents(k.chunk, 0)[0]
+// partsInto is partsFor into a caller-provided scratch buffer (typically a
+// stack array), so the scheduling hot paths stay allocation-free.
+func (b *bufcache) partsInto(buf []partKey, cols storage.ColSet, c int) []partKey {
+	buf = buf[:0]
+	if !b.layout.Columnar() {
+		return append(buf, partKey{chunk: c, col: -1})
 	}
-	ex := b.layout.Extents(k.chunk, storage.Cols(k.col))
-	return ex[0]
+	for v := uint64(cols); v != 0; v &= v - 1 {
+		buf = append(buf, partKey{chunk: c, col: bits.TrailingZeros64(v)})
+	}
+	return buf
+}
+
+// extentOf returns the single disk extent backing a part (allocation-free).
+func (b *bufcache) extentOf(k partKey) storage.Extent {
+	return b.layout.ExtentOf(k.chunk, k.col)
 }
 
 // pageRange returns the device-global page index range of a part.
@@ -107,19 +154,47 @@ func (b *bufcache) state(k partKey) partState {
 	return partAbsent
 }
 
-// chunkLoadedFor reports whether chunk c is fully resident for cols. It is
-// allocation-free: a hot path for starvation checks and chunk selection.
+// chunkLoadedFor reports whether chunk c is fully resident for cols: a
+// single bit test against the maintained residency index.
 func (b *bufcache) chunkLoadedFor(cols storage.ColSet, c int) bool {
-	if !b.layout.Columnar() {
-		return b.state(partKey{chunk: c, col: -1}) == partLoaded
+	return b.requiredBits(cols)&^b.residentCols[c] == 0
+}
+
+// absentBits returns the required bits of cols that are neither resident
+// nor in flight for chunk c (the parts that still need I/O).
+func (b *bufcache) absentBits(cols storage.ColSet, c int) storage.ColSet {
+	return b.requiredBits(cols) &^ (b.residentCols[c] | b.loadingCols[c])
+}
+
+// loadingBits returns the required bits of cols currently being loaded.
+func (b *bufcache) loadingBits(cols storage.ColSet, c int) storage.ColSet {
+	return b.requiredBits(cols) & b.loadingCols[c]
+}
+
+// occupiedChunks returns the chunks with at least one buffered (loading or
+// loaded) part, in no particular order; callers must not modify it.
+func (b *bufcache) occupiedChunks() []int { return b.occupied }
+
+// addChunkPart / dropChunkPart maintain the occupied-chunk index.
+func (b *bufcache) addChunkPart(c int) {
+	if b.partCount[c] == 0 {
+		b.occupiedPos[c] = len(b.occupied)
+		b.occupied = append(b.occupied, c)
 	}
-	for v := uint64(cols); v != 0; v &= v - 1 {
-		col := bits.TrailingZeros64(v)
-		if b.state(partKey{chunk: c, col: col}) != partLoaded {
-			return false
-		}
+	b.partCount[c]++
+}
+
+func (b *bufcache) dropChunkPart(c int) {
+	b.partCount[c]--
+	if b.partCount[c] == 0 {
+		i := b.occupiedPos[c]
+		last := len(b.occupied) - 1
+		moved := b.occupied[last]
+		b.occupied[i] = moved
+		b.occupiedPos[moved] = i
+		b.occupied = b.occupied[:last]
+		b.occupiedPos[c] = -1
 	}
-	return true
 }
 
 // coldBytes returns how many bytes of the part are not yet buffered.
@@ -163,6 +238,8 @@ func (b *bufcache) beginLoad(k partKey, now float64) *part {
 	p := &part{key: k, state: partLoading, lastTouch: now}
 	b.parts[k] = p
 	b.loaded = append(b.loaded, p)
+	b.loadingCols[k.chunk] |= colBit(k.col)
+	b.addChunkPart(k.chunk)
 	// Reserve the pages up front so concurrent space checks see the demand.
 	first, last := b.pageRange(k)
 	for pg := first; pg < last; pg++ {
@@ -183,6 +260,8 @@ func (b *bufcache) finishLoad(k partKey, now float64) {
 	p.state = partLoaded
 	p.loadedAt = now
 	p.lastTouch = now
+	b.loadingCols[k.chunk] &^= colBit(k.col)
+	b.residentCols[k.chunk] |= colBit(k.col)
 }
 
 // evict removes a loaded, unpinned part and returns the bytes freed.
@@ -198,6 +277,8 @@ func (b *bufcache) evict(k partKey) int64 {
 			break
 		}
 	}
+	b.residentCols[k.chunk] &^= colBit(k.col)
+	b.dropChunkPart(k.chunk)
 	var freed int64
 	first, last := b.pageRange(k)
 	for pg := first; pg < last; pg++ {
@@ -227,6 +308,33 @@ func (b *bufcache) unpin(k partKey, now float64) {
 	}
 	p.pins--
 	p.lastTouch = now
+}
+
+// pinAll pins and touches every part of chunk c a query with cols reads;
+// the chunk must be fully resident for cols. Allocation-free.
+func (b *bufcache) pinAll(cols storage.ColSet, c int, now float64) {
+	if !b.layout.Columnar() {
+		k := partKey{chunk: c, col: -1}
+		b.pin(k)
+		b.touch(k, now)
+		return
+	}
+	for v := uint64(cols); v != 0; v &= v - 1 {
+		k := partKey{chunk: c, col: bits.TrailingZeros64(v)}
+		b.pin(k)
+		b.touch(k, now)
+	}
+}
+
+// unpinAll releases the pins taken by pinAll.
+func (b *bufcache) unpinAll(cols storage.ColSet, c int, now float64) {
+	if !b.layout.Columnar() {
+		b.unpin(partKey{chunk: c, col: -1}, now)
+		return
+	}
+	for v := uint64(cols); v != 0; v &= v - 1 {
+		b.unpin(partKey{chunk: c, col: bits.TrailingZeros64(v)}, now)
+	}
 }
 
 // touch refreshes LRU recency (a buffer hit).

@@ -89,19 +89,19 @@ func (s *elevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 			}
 		}
 		if chunk < 0 {
-			for c := 0; c < len(q.needed); c++ {
-				if q.needed[c] && a.cache.chunkLoadedFor(cols, c) {
+			// Lowest-index available chunk, straight from the query's
+			// maintained availability list (order-independent minimum).
+			for _, c := range q.availList {
+				if q.needs(c) && (chunk < 0 || c < chunk) {
 					chunk = c
-					a.stats.BufferHits++
-					break
 				}
+			}
+			if chunk >= 0 {
+				a.stats.BufferHits++
 			}
 		}
 		if chunk >= 0 {
-			for _, k := range a.cache.partsFor(cols, chunk) {
-				a.cache.pin(k)
-				a.cache.touch(k, a.env.Now())
-			}
+			a.cache.pinAll(cols, chunk, a.env.Now())
 			q.lastService = a.env.Now()
 			return chunk, true
 		}
@@ -129,14 +129,7 @@ func (s *elevStrategy) nextToLoad() (int, storage.ColSet, bool) {
 		if !interested {
 			continue
 		}
-		needsIO := false
-		for _, k := range a.cache.partsFor(a.colsOrNSM(cols), c) {
-			if a.cache.state(k) == partAbsent {
-				needsIO = true
-				break
-			}
-		}
-		if needsIO {
+		if a.cache.absentBits(a.colsOrNSM(cols), c) != 0 {
 			return c, cols, true
 		}
 	}

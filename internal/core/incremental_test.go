@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// auditIncrementalState recomputes every incrementally maintained scheduler
+// structure from first principles (the parts map and the queries' needed
+// sets) and fails the test on any divergence. It is the ground truth the
+// O(1)-maintained counters are audited against.
+func auditIncrementalState(t *testing.T, a *ABM, when string) {
+	t.Helper()
+	b := a.cache
+	n := a.layout.NumChunks()
+
+	// Recompute the per-chunk residency index from the parts map.
+	resident := make([]storage.ColSet, n)
+	loading := make([]storage.ColSet, n)
+	partCount := make([]int, n)
+	for k, p := range b.parts {
+		switch p.state {
+		case partLoaded:
+			resident[k.chunk] |= colBit(k.col)
+		case partLoading:
+			loading[k.chunk] |= colBit(k.col)
+		default:
+			t.Fatalf("%s: part %v in parts map with state %d", when, k, p.state)
+		}
+		partCount[k.chunk]++
+	}
+	for c := 0; c < n; c++ {
+		if b.residentCols[c] != resident[c] {
+			t.Fatalf("%s: residentCols[%d] = %v, recomputed %v", when, c, b.residentCols[c], resident[c])
+		}
+		if b.loadingCols[c] != loading[c] {
+			t.Fatalf("%s: loadingCols[%d] = %v, recomputed %v", when, c, b.loadingCols[c], loading[c])
+		}
+		if b.partCount[c] != partCount[c] {
+			t.Fatalf("%s: partCount[%d] = %d, recomputed %d", when, c, b.partCount[c], partCount[c])
+		}
+		if partCount[c] > 0 {
+			i := b.occupiedPos[c]
+			if i < 0 || i >= len(b.occupied) || b.occupied[i] != c {
+				t.Fatalf("%s: chunk %d with %d parts not indexed in occupied", when, c, partCount[c])
+			}
+		} else if b.occupiedPos[c] != -1 {
+			t.Fatalf("%s: empty chunk %d has occupiedPos %d", when, c, b.occupiedPos[c])
+		}
+	}
+	occupied := 0
+	for _, c := range partCount {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if len(b.occupied) != occupied {
+		t.Fatalf("%s: occupied list has %d chunks, recomputed %d", when, len(b.occupied), occupied)
+	}
+
+	// Recompute per-query availability, starvation flags and, from those,
+	// the per-chunk starved/almost interest counters.
+	interest := make([]int, n)
+	starvedInt := make([]int, n)
+	almostInt := make([]int, n)
+	for _, q := range a.queries {
+		req := b.requiredBits(a.queryCols(q))
+		avail := 0
+		inList := make(map[int]bool, len(q.availList))
+		for _, c := range q.availList {
+			inList[c] = true
+		}
+		for c := 0; c < n; c++ {
+			want := q.needs(c) && req&^resident[c] == 0
+			if want {
+				avail++
+			}
+			if want != inList[c] {
+				t.Fatalf("%s: %s availList membership of chunk %d = %v, recomputed %v",
+					when, q.Name, c, inList[c], want)
+			}
+			if inList[c] && (q.availPos[c] < 0 || q.availList[q.availPos[c]] != c) {
+				t.Fatalf("%s: %s availPos[%d] inconsistent", when, q.Name, c)
+			}
+		}
+		// Cross-check against the independent pool-scan reference.
+		if ref := a.availableCount(q, n+1); ref != avail || q.available() != avail {
+			t.Fatalf("%s: %s availability maintained=%d recomputed=%d reference=%d",
+				when, q.Name, q.available(), avail, ref)
+		}
+		starved := avail < a.cfg.StarveThreshold
+		almost := avail < a.cfg.StarveThreshold+1
+		if q.starved != starved || q.almostStarved != almost {
+			t.Fatalf("%s: %s flags starved=%v almost=%v, recomputed %v/%v (avail %d, threshold %d)",
+				when, q.Name, q.starved, q.almostStarved, starved, almost, avail, a.cfg.StarveThreshold)
+		}
+		for c := 0; c < n; c++ {
+			if q.needs(c) {
+				interest[c]++
+				if starved {
+					starvedInt[c]++
+				}
+				if almost {
+					almostInt[c]++
+				}
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		if a.interestCount[c] != interest[c] {
+			t.Fatalf("%s: interestCount[%d] = %d, recomputed %d", when, c, a.interestCount[c], interest[c])
+		}
+		if a.starvedInterest[c] != starvedInt[c] {
+			t.Fatalf("%s: starvedInterest[%d] = %d, recomputed %d", when, c, a.starvedInterest[c], starvedInt[c])
+		}
+		if a.almostInterest[c] != almostInt[c] {
+			t.Fatalf("%s: almostInterest[%d] = %d, recomputed %d", when, c, a.almostInterest[c], almostInt[c])
+		}
+	}
+}
+
+// TestIncrementalCountersMatchRecomputation drives randomized workloads
+// through every policy and both layouts, auditing the incremental scheduler
+// state against a from-scratch recomputation at every chunk delivery and
+// after the run drains.
+func TestIncrementalCountersMatchRecomputation(t *testing.T) {
+	for _, pol := range Policies {
+		for _, columnar := range []bool{false, true} {
+			for seed := int64(0); seed < 6; seed++ {
+				name := fmt.Sprintf("%v/columnar=%v/seed=%d", pol, columnar, seed)
+				t.Run(name, func(t *testing.T) {
+					runAuditedWorkload(t, pol, seed, columnar)
+				})
+			}
+		}
+	}
+}
+
+// runAuditedWorkload is runRandomWorkload with a state audit wired into
+// every chunk delivery.
+func runAuditedWorkload(t *testing.T, policy Policy, seed int64, columnar bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	numChunks := 8 + rng.Intn(32)
+	var layout storage.Layout
+	if columnar {
+		layout = dsmTestLayout(numChunks, 2+rng.Intn(4))
+	} else {
+		layout = nsmTestLayout(numChunks)
+	}
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 10 << 20, SeekTime: 2e-3})
+	var bufBytes int64
+	if columnar {
+		bufBytes = layout.ChunkBytes(0, storage.AllCols(layout.Table().NumColumns())) * int64(2+rng.Intn(5))
+	} else {
+		bufBytes = layout.ChunkBytes(0, 0) * int64(2+rng.Intn(numChunks))
+	}
+	abm := New(env, d, layout, Config{Policy: policy, BufferBytes: bufBytes})
+	cpu := env.NewResource("cpu", 2)
+
+	nQueries := 1 + rng.Intn(5)
+	remaining := nQueries
+	for i := 0; i < nQueries; i++ {
+		name := fmt.Sprintf("q%d", i)
+		s := rng.Intn(numChunks)
+		e := s + 1 + rng.Intn(numChunks-s)
+		rs := storage.NewRangeSet(storage.Range{Start: s, End: e})
+		var cols storage.ColSet
+		if columnar {
+			nc := layout.Table().NumColumns()
+			cols = cols.Add(rng.Intn(nc))
+			cols = cols.Add(rng.Intn(nc))
+		}
+		cost := float64(rng.Intn(3)) * 0.01
+		delay := float64(rng.Intn(12)) * 0.3
+		env.ProcessAt(name, delay, func(p *sim.Proc) {
+			q := abm.NewQuery(name, rs, cols)
+			RunCScan(p, abm, q, ScanOptions{
+				CPU:     cpu,
+				Quantum: 0.01,
+				Cost:    func(int, int64) float64 { return cost },
+				OnChunk: func(c int) { auditIncrementalState(t, abm, fmt.Sprintf("%s chunk %d", name, c)) },
+			})
+			remaining--
+			if remaining == 0 {
+				abm.Shutdown()
+			}
+		})
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatalf("policy %v seed %d: %v", policy, seed, err)
+	}
+	auditIncrementalState(t, abm, "drained")
+	if len(abm.queries) != 0 {
+		t.Fatalf("queries leaked after drain: %d", len(abm.queries))
+	}
+	for c, v := range abm.starvedInterest {
+		if v != 0 {
+			t.Errorf("starvedInterest[%d] = %d after drain", c, v)
+		}
+	}
+	for c, v := range abm.almostInterest {
+		if v != 0 {
+			t.Errorf("almostInterest[%d] = %d after drain", c, v)
+		}
+	}
+}

@@ -23,6 +23,20 @@ type Query struct {
 	needed      []bool
 	neededCount int
 
+	// availList/availPos index the needed chunks currently fully resident
+	// for the query's columns (availPos[c] is c's slot in availList, or -1).
+	// The ABM maintains them at load/evict/consume/register events, so
+	// starvation checks are O(1) flag reads and chunk selection iterates
+	// only this query's available chunks — never the whole pool.
+	availList []int
+	availPos  []int
+
+	// starved/almostStarved mirror len(availList) against the configured
+	// starvation thresholds; the ABM folds every flip into its per-chunk
+	// starved/almost-starved interest counters.
+	starved       bool
+	almostStarved bool
+
 	enterTime   float64
 	doneTime    float64
 	lastService float64 // last time a chunk was delivered (for aging)
@@ -62,6 +76,9 @@ func (q *Query) markConsumed(c int) {
 
 // remaining returns the number of chunks still to consume.
 func (q *Query) remaining() int { return q.neededCount }
+
+// available returns the maintained count of needed, fully resident chunks.
+func (q *Query) available() int { return len(q.availList) }
 
 // done reports whether the scan has consumed everything.
 func (q *Query) finished() bool { return q.neededCount == 0 }

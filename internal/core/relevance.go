@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"time"
 
 	"coopscan/internal/sim"
@@ -16,27 +17,45 @@ const qMax = 1024.0
 // highest-priority starved query (queryRelevance), the most valuable chunk
 // to load for it (loadRelevance), and victims to evict (keepRelevance);
 // the CScan side picks which available chunk to consume (useRelevance).
+//
+// All starvation and interest state is maintained incrementally by the ABM
+// (see the package comment); the strategy reads Query.starved/almostStarved
+// flags and the per-chunk interest counters instead of rescanning the pool.
 type relevStrategy struct {
 	a *ABM
 
-	// Per-decision-round caches of query starvation, refreshed at the top
-	// of each loader iteration (and eviction pass): starvation checks are
-	// the hot path of every relevance function.
-	starvedCache []bool
-	almostCache  []bool
+	// Eviction-pass snapshots of the starvation state, captured by
+	// refreshStarvation exactly where the rescanning implementation used to
+	// recompute its caches. Evictions inside makeSpaceRelevance can flip a
+	// query's live flags mid-pass; scoring against the snapshot keeps
+	// victim selection bit-identical to the historical behaviour.
+	almostSnap     []bool // per registered query, a.queries order
+	starvedIntSnap []int  // per chunk
+	almostIntSnap  []int  // per chunk
+
+	// Scratch buffers reused across decisions to keep the hot path
+	// allocation-free.
+	cands        []loadCand
+	evictScratch []*part
 }
 
-// refreshStarvation recomputes the starvation caches for the current set of
-// registered queries.
+// loadCand is one starved query awaiting service, with its priority.
+type loadCand struct {
+	q   *Query
+	rel float64
+}
+
+// refreshStarvation snapshots the incrementally maintained starvation state
+// for an eviction pass (and for white-box tests probing the relevance
+// functions). O(queries + chunks) copies — no pool rescan.
 func (s *relevStrategy) refreshStarvation() {
 	a := s.a
-	s.starvedCache = s.starvedCache[:0]
-	s.almostCache = s.almostCache[:0]
+	s.almostSnap = s.almostSnap[:0]
 	for _, q := range a.queries {
-		avail := a.availableCount(q, a.cfg.StarveThreshold+1)
-		s.starvedCache = append(s.starvedCache, avail < a.cfg.StarveThreshold)
-		s.almostCache = append(s.almostCache, avail < a.cfg.StarveThreshold+1)
+		s.almostSnap = append(s.almostSnap, q.almostStarved)
 	}
+	s.starvedIntSnap = append(s.starvedIntSnap[:0], a.starvedInterest...)
+	s.almostIntSnap = append(s.almostIntSnap[:0], a.almostInterest...)
 }
 
 func (s *relevStrategy) register(q *Query)    {}
@@ -54,11 +73,7 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 		}
 		c := s.chooseAvailable(q)
 		if c >= 0 {
-			cols := a.queryCols(q)
-			for _, k := range a.cache.partsFor(cols, c) {
-				a.cache.pin(k)
-				a.cache.touch(k, a.env.Now())
-			}
+			a.cache.pinAll(a.queryCols(q), c, a.env.Now())
 			q.lastService = a.env.Now()
 			return c, true
 		}
@@ -71,24 +86,19 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 }
 
 // chooseAvailable returns the resident needed chunk with the highest
-// useRelevance, or -1 if none is available. Candidates come from the loaded
-// parts (bounded by the pool), not a table scan.
+// useRelevance, or -1 if none is available. Candidates come straight from
+// the query's maintained availability list; the winner (max score, lowest
+// chunk on ties) is independent of list order.
 func (s *relevStrategy) chooseAvailable(q *Query) int {
 	a := s.a
 	start := time.Time{}
 	if a.cfg.MeasureScheduling {
 		start = time.Now()
 	}
-	cols := a.queryCols(q)
-	anchor := anchorCol(a.layout.Columnar(), cols)
 	best, bestScore := -1, 0.0
-	for _, pt := range a.cache.loaded {
-		c := pt.key.chunk
-		if pt.key.col != anchor || pt.state != partLoaded || !q.needs(c) {
-			continue
-		}
-		if cols != 0 && !a.cache.chunkLoadedFor(cols, c) {
-			continue
+	for _, c := range q.availList {
+		if !q.needs(c) {
+			continue // defensive: availability normally retires via Release
 		}
 		score := s.useRelevance(c, q)
 		if best < 0 || score > bestScore || (score == bestScore && c < best) {
@@ -118,13 +128,13 @@ func (s *relevStrategy) useRelevance(c int, q *Query) float64 {
 	return pu / u
 }
 
-// cachedBytes sums the resident bytes of chunk c over cols.
+// cachedBytes sums the resident bytes of chunk c over cols (DSM only):
+// the loaded members of cols come from one bit intersection.
 func (s *relevStrategy) cachedBytes(c int, cols storage.ColSet) int64 {
+	b := s.a.cache
 	var n int64
-	for _, k := range s.a.cache.partsFor(cols, c) {
-		if s.a.cache.state(k) == partLoaded {
-			n += s.a.cache.extentOf(k).Size
-		}
+	for v := uint64(cols & b.residentCols[c]); v != 0; v &= v - 1 {
+		n += b.extentOf(partKey{chunk: c, col: bits.TrailingZeros64(v)}).Size
 	}
 	return n
 }
@@ -163,22 +173,19 @@ func (s *relevStrategy) loader(p *sim.Proc) {
 // chooseWork combines chooseQueryToProcess and chooseChunkToLoad: starved
 // queries are ranked by queryRelevance, and the best loadable chunk of the
 // best query wins; if the best query has nothing loadable (everything in
-// flight), the next query is considered.
+// flight), the next query is considered. The starved set comes from the
+// maintained per-query flags — no recomputation.
 func (s *relevStrategy) chooseWork() (*Query, int, storage.ColSet) {
 	a := s.a
-	s.refreshStarvation()
-	type cand struct {
-		q   *Query
-		rel float64
-	}
-	var cands []cand
-	for i, q := range a.queries {
-		if !s.starvedCache[i] {
+	s.cands = s.cands[:0]
+	for _, q := range a.queries {
+		if !q.starved {
 			continue
 		}
-		cands = append(cands, cand{q, s.queryRelevance(q)})
+		s.cands = append(s.cands, loadCand{q, s.queryRelevance(q)})
 	}
 	// Sort by relevance descending, registration order as tie-break.
+	cands := s.cands
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].rel > cands[j-1].rel; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
@@ -234,38 +241,26 @@ func (s *relevStrategy) chooseChunkToLoad(q *Query) (int, storage.ColSet, bool) 
 }
 
 // loadState reports whether chunk c still needs I/O for q and whether any
-// of its parts is currently being loaded.
+// of its parts is currently being loaded: two bit tests on the residency
+// index.
 func (s *relevStrategy) loadState(q *Query, c int) (needsIO, inFlight bool) {
-	for _, k := range s.a.cache.partsFor(s.a.queryCols(q), c) {
-		switch s.a.cache.state(k) {
-		case partAbsent:
-			needsIO = true
-		case partLoading:
-			inFlight = true
-		}
-	}
-	return needsIO, inFlight
+	cols := s.a.queryCols(q)
+	return s.a.cache.absentBits(cols, c) != 0, s.a.cache.loadingBits(cols, c) != 0
 }
 
 // loadRelevance scores a load candidate. NSM (Figure 3): chunks needed by
-// many starved queries dominate, with total interest as the tie-breaker.
-// DSM (Figure 11): starved-queries-served per cold byte, loading the union
-// of the overlapping starved queries' columns.
+// many starved queries dominate (an O(1) counter read), with total interest
+// as the tie-breaker. DSM (Figure 11): starved-queries-served per cold
+// byte, loading the union of the overlapping starved queries' columns.
 func (s *relevStrategy) loadRelevance(c int, q *Query) (float64, storage.ColSet) {
 	a := s.a
 	if !a.layout.Columnar() {
-		nStarved := 0
-		for i, o := range a.queries {
-			if o.needs(c) && s.starvedCache[i] {
-				nStarved++
-			}
-		}
-		return float64(nStarved)*qMax + float64(a.interestCount[c]), 0
+		return float64(a.starvedInterest[c])*qMax + float64(a.interestCount[c]), 0
 	}
 	cols := q.Cols
 	l := 0
-	for i, o := range a.queries {
-		if s.starvedCache[i] && o.needs(c) && o.Cols.Overlaps(q.Cols) {
+	for _, o := range a.queries {
+		if o.starved && o.needs(c) && o.Cols.Overlaps(q.Cols) {
 			l++
 			cols = cols.Union(o.Cols)
 		}
@@ -301,13 +296,13 @@ func (s *relevStrategy) makeSpaceRelevance(need int64, trigger *Query) bool {
 
 	if a.layout.Columnar() {
 		// First pass: evict column parts no interested query uses.
-		for _, pt := range append([]*part(nil), a.cache.loadedParts()...) {
+		s.evictScratch = append(s.evictScratch[:0], a.cache.loadedParts()...)
+		for _, pt := range s.evictScratch {
 			if a.cache.free() >= need {
 				return true
 			}
 			if evictable(pt) && s.colUseless(pt.key) {
-				a.cache.evict(pt.key)
-				a.stats.Evictions++
+				a.evictPart(pt.key)
 			}
 		}
 	}
@@ -345,35 +340,26 @@ func (s *relevStrategy) colUseless(k partKey) bool {
 	return true
 }
 
-// usefulForStarved reports whether a strictly starved query still needs c.
+// usefulForStarved reports whether a strictly starved query still needed c
+// at the time of the eviction pass's snapshot.
 func (s *relevStrategy) usefulForStarved(c int) bool {
-	for i, q := range s.a.queries {
-		if q.needs(c) && s.starvedCache[i] {
-			return true
-		}
-	}
-	return false
+	return s.starvedIntSnap[c] > 0
 }
 
 // keepRelevanceScore is the eviction score: lower evicts first. NSM
-// (Figure 3): almost-starved interest dominates, total interest breaks
-// ties. DSM (Figure 11): almost-starved queries served per cached byte.
+// (Figure 3): almost-starved interest (a snapshot counter read) dominates,
+// total interest breaks ties. DSM (Figure 11): almost-starved queries
+// served per cached byte.
 func (s *relevStrategy) keepRelevanceScore(pt *part) float64 {
 	a := s.a
 	c := pt.key.chunk
 	if !a.layout.Columnar() {
-		nAlmost := 0
-		for i, q := range a.queries {
-			if q.needs(c) && s.almostCache[i] {
-				nAlmost++
-			}
-		}
-		return float64(nAlmost)*qMax + float64(a.interestCount[c])
+		return float64(s.almostIntSnap[c])*qMax + float64(a.interestCount[c])
 	}
 	var cols storage.ColSet
 	e := 0
 	for i, q := range a.queries {
-		if q.needs(c) && s.almostCache[i] {
+		if q.needs(c) && s.almostSnap[i] {
 			e++
 			cols = cols.Union(q.Cols)
 		}

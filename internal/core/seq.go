@@ -91,11 +91,7 @@ func (s *seqStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 		return 0, false
 	}
 	hit := s.a.ensureChunkDemand(p, q, c)
-	cols := s.a.queryCols(q)
-	for _, k := range s.a.cache.partsFor(cols, c) {
-		s.a.cache.pin(k)
-		s.a.cache.touch(k, s.a.env.Now())
-	}
+	s.a.cache.pinAll(s.a.queryCols(q), c, s.a.env.Now())
 	if hit {
 		s.a.stats.BufferHits++
 	}
@@ -141,12 +137,7 @@ func nextFrom(q *Query, from int) (int, bool) {
 }
 
 func (s *seqStrategy) chunkResidentOrLoading(c int, cols storage.ColSet) bool {
-	for _, k := range s.a.cache.partsFor(cols, c) {
-		if s.a.cache.state(k) == partAbsent {
-			return false
-		}
-	}
-	return true
+	return s.a.cache.absentBits(cols, c) == 0
 }
 
 // ensureChunkDemand makes chunk c fully resident for q's columns on q's own
@@ -174,16 +165,8 @@ func (a *ABM) ensureChunkDemand(p *sim.Proc, q *Query, c int) bool {
 	for {
 		// If any part is being loaded by another scan, wait for it: this is
 		// exactly how two co-positioned normal scans end up sharing a read.
-		loading := false
-		absent := false
-		for _, k := range a.cache.partsFor(cols, c) {
-			switch a.cache.state(k) {
-			case partLoading:
-				loading = true
-			case partAbsent:
-				absent = true
-			}
-		}
+		loading := a.cache.loadingBits(cols, c) != 0
+		absent := a.cache.absentBits(cols, c) != 0
 		if loading {
 			a.activity.Wait(p)
 			continue
@@ -218,10 +201,8 @@ func (a *ABM) prefetchChunk(p *sim.Proc, q *Query, c int) {
 		return // consumed meanwhile
 	}
 	cols := a.queryCols(q)
-	for _, k := range a.cache.partsFor(cols, c) {
-		if a.cache.state(k) == partLoading {
-			return // someone else is already on it
-		}
+	if a.cache.loadingBits(cols, c) != 0 {
+		return // someone else is already on it
 	}
 	need := a.coldBytesFor(c, cols)
 	if need == 0 {

@@ -1,0 +1,53 @@
+package experiments
+
+// Decision-identity harness: TestCaptureDecisionBaseline dumps the
+// scheduling decisions' observable outcomes (Loads, IORequests, BytesRead,
+// Evictions, BufferHits) for the Table 2/3/4 experiments and the scheduler-
+// scaling sweep. Scheduler refactors are expected to keep these
+// bit-identical; capture before and after, then diff:
+//
+//	go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/before.txt
+//	... change the scheduler ...
+//	go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/after.txt
+//	diff /tmp/before.txt /tmp/after.txt
+//
+// Without -capture the test skips, so normal runs pay nothing.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"coopscan/internal/workload"
+)
+
+var captureFile = flag.String("capture", "", "write decision baseline to this file")
+
+func TestCaptureDecisionBaseline(t *testing.T) {
+	if *captureFile == "" {
+		t.Skip("pass -capture=FILE to record the decision baseline")
+	}
+	f, err := os.Create(*captureFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump := func(tag string, results []workload.Result) {
+		for _, r := range results {
+			fmt.Fprintf(f, "%s %v loads=%d ios=%d bytes=%d evict=%d hits=%d\n",
+				tag, r.Policy, r.Loads, r.IORequests, r.BytesRead, r.Evictions, r.BufferHits)
+		}
+	}
+	dump("table2", Table2(QuickTable2()).Results)
+	dump("table3", Table3(QuickTable3()).Results)
+	for _, row := range Table4(QuickTable4()).Rows {
+		fmt.Fprintf(f, "table4 %s %v loads=%d ios=%d bytes=%d evict=%d\n",
+			row.Variant, row.Policy, row.Loads, row.IORequests, row.BytesRead, row.Evictions)
+	}
+	sc := SchedScaling(QuickSchedScaling())
+	for _, p := range sc.Points {
+		fmt.Fprintf(f, "schedscale q=%d decisions=%d ios=%d evict=%d\n",
+			p.Queries, p.Decisions, p.IORequests, p.Evictions)
+	}
+}

@@ -194,6 +194,27 @@ func TestFig8SchedulingCost(t *testing.T) {
 	}
 }
 
+func TestSchedScalingSweep(t *testing.T) {
+	r := SchedScaling(QuickSchedScaling())
+	if len(r.Points) != len(r.Opts.Queries) {
+		t.Fatalf("points = %d, want %d", len(r.Points), len(r.Opts.Queries))
+	}
+	for _, p := range r.Points {
+		if p.Decisions <= 0 {
+			t.Errorf("%d queries: no scheduling decisions recorded", p.Queries)
+		}
+		if p.PerDecision < 0 {
+			t.Errorf("%d queries: negative per-decision cost", p.Queries)
+		}
+		if p.IORequests <= 0 {
+			t.Errorf("%d queries: no I/O performed", p.Queries)
+		}
+	}
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty rendering")
+	}
+}
+
 func TestTable3DSMShapes(t *testing.T) {
 	r := Table3(QuickTable3())
 	by := map[core.Policy]workload.Result{}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coopscan/internal/core"
+	"coopscan/internal/storage"
+	"coopscan/internal/tpch"
+	"coopscan/internal/workload"
+)
+
+// ---- Scheduler scaling sweep ------------------------------------------------
+
+// SchedScalingOpts parameterises the large-scale extension of the Figure 8
+// scheduling-cost experiment: instead of sweeping the chunk count at a fixed
+// 16 streams, it sweeps the number of concurrent queries (up to 64) at a
+// fixed, fine-grained chunking, which is exactly the regime where the naive
+// O(queries × chunks) relevance scheduler collapses and the incremental
+// scheduler stays flat.
+type SchedScalingOpts struct {
+	TableBytes int64   // relation size
+	Chunks     int     // number of chunks the relation is divided into
+	ScanPct    float64 // fraction of the relation each query reads
+	Queries    []int   // concurrent query counts to sweep
+	Seed       uint64
+}
+
+// DefaultSchedScaling is the full-scale configuration: a 2 GB relation in
+// 1024 chunks, 10% scans, 4..64 concurrent queries.
+func DefaultSchedScaling() SchedScalingOpts {
+	return SchedScalingOpts{
+		TableBytes: 2 << 30, Chunks: 1024, ScanPct: 10,
+		Queries: []int{4, 8, 16, 32, 64}, Seed: 9,
+	}
+}
+
+// QuickSchedScaling is the scaled-down configuration used by tests and
+// BenchmarkSchedulerScaling; it keeps the 64-query point, which is the one
+// the acceptance comparison is made at.
+func QuickSchedScaling() SchedScalingOpts {
+	return SchedScalingOpts{
+		TableBytes: 512 << 20, Chunks: 512, ScanPct: 10,
+		Queries: []int{8, 64}, Seed: 9,
+	}
+}
+
+// SchedScalingPoint is one concurrency level's measurement.
+type SchedScalingPoint struct {
+	Queries     int
+	Decisions   int64   // scheduling decisions taken
+	SchedMS     float64 // total wall-clock ms inside those decisions
+	PerDecision float64 // mean ns per decision
+	IORequests  int
+	Evictions   int
+}
+
+// SchedScalingResult carries the sweep.
+type SchedScalingResult struct {
+	Opts   SchedScalingOpts
+	Points []SchedScalingPoint
+}
+
+// SchedScaling runs n concurrent relevance-policy queries per point (one
+// query per stream, short stagger) and records the wall-clock cost of the
+// scheduler's decisions.
+func SchedScaling(o SchedScalingOpts) *SchedScalingResult {
+	out := &SchedScalingResult{Opts: o}
+	chunkBytes := o.TableBytes / int64(o.Chunks)
+	rows := o.TableBytes / int64(PAXTupleBytes)
+	tab := tpch.LineitemTable(float64(rows) / tpch.RowsPerSF)
+	layout := storage.NewNSMLayoutWidth(tab, chunkBytes, 0, PAXTupleBytes)
+	for _, n := range o.Queries {
+		var mix workload.Mix
+		mix.Label = fmt.Sprintf("F-%g×%d", o.ScanPct, n)
+		mix.Templates = []workload.Template{{Speed: workload.Fast, Percent: o.ScanPct}}
+		spec := workload.Spec{
+			Layout:            layout,
+			BufferBytes:       o.TableBytes / 2,
+			Streams:           n,
+			QueriesPerStream:  1,
+			StreamDelay:       0.1,
+			Mix:               mix,
+			Seed:              o.Seed,
+			Policy:            core.Relevance,
+			MeasureScheduling: true,
+		}
+		res := spec.Run()
+		pt := SchedScalingPoint{
+			Queries: n, Decisions: res.SchedCalls,
+			SchedMS:    res.SchedNanos / 1e6,
+			IORequests: res.IORequests, Evictions: res.Evictions,
+		}
+		if res.SchedCalls > 0 {
+			pt.PerDecision = res.SchedNanos / float64(res.SchedCalls)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}
+
+func (r *SchedScalingResult) String() string {
+	var b strings.Builder
+	header(&b, "Scheduler scaling: relevance decision cost vs concurrent queries")
+	fmt.Fprintf(&b, "(%d chunks, %g%% scans)\n", r.Opts.Chunks, r.Opts.ScanPct)
+	fmt.Fprintf(&b, "%9s %11s %11s %13s %9s %10s\n",
+		"#queries", "decisions", "sched-ms", "ns/decision", "ios", "evictions")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%9d %11d %11.2f %13.0f %9d %10d\n",
+			p.Queries, p.Decisions, p.SchedMS, p.PerDecision, p.IORequests, p.Evictions)
+	}
+	return b.String()
+}

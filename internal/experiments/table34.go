@@ -132,6 +132,9 @@ type Table4Row struct {
 	Variant    string
 	Policy     core.Policy
 	IORequests int
+	BytesRead  int64
+	Loads      int
+	Evictions  int
 	AvgLatency float64
 	StdDev     float64
 }
@@ -205,6 +208,9 @@ func Table4(o Table4Opts) *Table4Result {
 				Variant:    variant.Label,
 				Policy:     pol,
 				IORequests: res.IORequests,
+				BytesRead:  res.BytesRead,
+				Loads:      res.Loads,
+				Evictions:  res.Evictions,
 				AvgLatency: avg,
 				StdDev:     sqrt(sum2 / float64(len(res.Queries))),
 			})

@@ -10,23 +10,26 @@ import "fmt"
 type Signal struct {
 	env     *Env
 	name    string
+	desc    string // cached "signal <name>" for deadlock reports
 	waiters []*Proc
 }
 
 // NewSignal creates a named signal in env. The name appears in deadlock
 // reports.
 func (e *Env) NewSignal(name string) *Signal {
-	return &Signal{env: e, name: name}
+	return &Signal{env: e, name: name, desc: fmt.Sprintf("signal %q", name)}
 }
 
 // Wait blocks the process until another process calls Signal or Broadcast.
+// Allocation-free apart from amortised waiter-slice growth: signal waits
+// are the inner loop of every scheduling policy.
 func (s *Signal) Wait(p *Proc) {
 	if p.env != s.env {
 		panic("sim: Signal.Wait with process from a different Env")
 	}
 	s.waiters = append(s.waiters, p)
 	p.state = StateBlocked
-	p.blockedOn = fmt.Sprintf("signal %q", s.name)
+	p.blockedOn = s.desc
 	p.yield()
 }
 
@@ -37,7 +40,10 @@ func (s *Signal) Signal() bool {
 		return false
 	}
 	p := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	// Shift down in place so the slice keeps its capacity (re-slicing the
+	// head away would force append to reallocate on every Wait).
+	copy(s.waiters, s.waiters[1:])
+	s.waiters = s.waiters[:len(s.waiters)-1]
 	p.state = StateSleeping
 	s.env.schedule(p, s.env.now)
 	return true

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -53,21 +52,63 @@ type event struct {
 	proc *Proc
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, seq). The key is
+// unique per event, so pop order is fully determined by the comparison and
+// independent of the heap's internal arrangement. A typed implementation
+// (instead of container/heap) avoids boxing an event into an interface on
+// every push and pop — the single hottest allocation site of a simulation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h eventHeap) Len() int { return len(h) }
+
 func (e *Env) schedule(p *Proc, at float64) {
 	e.seq++
-	heap.Push(&e.queue, event{time: at, seq: e.seq, proc: p})
+	e.queue.push(event{time: at, seq: e.seq, proc: p})
 }
 
 // ProcState describes what a process is currently doing; used for deadlock
@@ -202,10 +243,10 @@ func (e *Env) Run(horizon float64) error {
 	defer func() { e.running = false }()
 
 	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		if ev.time > horizon {
 			// Push back so a later Run with a larger horizon can continue.
-			heap.Push(&e.queue, ev)
+			e.queue.push(ev)
 			return nil
 		}
 		if ev.proc.state == StateDone {

@@ -112,6 +112,11 @@ type Layout interface {
 	// Extents returns the disk regions that must be resident to process
 	// chunk c for the given columns.
 	Extents(c int, cols ColSet) []Extent
+	// ExtentOf returns the single disk region backing one part: column col
+	// of chunk c in DSM, the whole chunk (col == -1) in NSM. It is the
+	// allocation-free variant of Extents the buffer manager's hot paths
+	// use.
+	ExtentOf(c, col int) Extent
 	// ChunkBytes returns the total buffer demand of chunk c for cols.
 	ChunkBytes(c int, cols ColSet) int64
 	// Columnar reports whether per-column scheduling applies (DSM).
@@ -183,8 +188,14 @@ func (l *NSMLayout) ChunkTuples(c int) int64 {
 
 // Extents implements Layout: one contiguous region per chunk.
 func (l *NSMLayout) Extents(c int, _ ColSet) []Extent {
+	return []Extent{l.ExtentOf(c, -1)}
+}
+
+// ExtentOf implements Layout; the column is ignored (NSM parts are whole
+// chunks).
+func (l *NSMLayout) ExtentOf(c, _ int) Extent {
 	l.check(c)
-	return []Extent{{Col: -1, Pos: l.deviceStart + int64(c)*l.chunkBytes, Size: l.chunkBytes}}
+	return Extent{Col: -1, Pos: l.deviceStart + int64(c)*l.chunkBytes, Size: l.chunkBytes}
 }
 
 // ChunkBytes implements Layout.
@@ -310,17 +321,23 @@ func (l *DSMLayout) Extents(c int, cols ColSet) []Extent {
 	l.check(c)
 	out := make([]Extent, 0, cols.Count())
 	cols.Each(func(col int) {
-		if col >= len(l.table.Columns) {
-			panic(fmt.Sprintf("storage: column %d beyond table width", col))
-		}
-		first, last := l.ColumnPageRange(c, col)
-		out = append(out, Extent{
-			Col:  col,
-			Pos:  l.colBase[col] + first*l.pageBytes,
-			Size: (last - first) * l.pageBytes,
-		})
+		out = append(out, l.ExtentOf(c, col))
 	})
 	return out
+}
+
+// ExtentOf implements Layout: the page-aligned region of one column chunk.
+func (l *DSMLayout) ExtentOf(c, col int) Extent {
+	l.check(c)
+	if col < 0 || col >= len(l.table.Columns) {
+		panic(fmt.Sprintf("storage: column %d beyond table width", col))
+	}
+	first, last := l.ColumnPageRange(c, col)
+	return Extent{
+		Col:  col,
+		Pos:  l.colBase[col] + first*l.pageBytes,
+		Size: (last - first) * l.pageBytes,
+	}
 }
 
 // ChunkBytes implements Layout.

@@ -120,6 +120,9 @@ type Result struct {
 	CPUUse         float64
 	IORequests     int
 	BytesRead      int64
+	Loads          int
+	Evictions      int
+	BufferHits     int
 
 	Queries []QueryOutcome
 	Classes []ClassStats
@@ -334,8 +337,12 @@ func (s Spec) Run() Result {
 	res.AvgNormLatency /= float64(len(outcomes))
 	res.TotalTime = sys.env.Now()
 	res.CPUUse = sys.cpu.Utilisation()
-	res.IORequests = sys.abm.Stats().IORequests
-	res.BytesRead = sys.abm.Stats().BytesRead
+	sysStats := sys.abm.Stats()
+	res.IORequests = sysStats.IORequests
+	res.BytesRead = sysStats.BytesRead
+	res.Loads = sysStats.Loads
+	res.Evictions = sysStats.Evictions
+	res.BufferHits = sysStats.BufferHits
 	res.DiskTrace = sys.dsk.Trace()
 	schedDur, schedCalls := sys.abm.SchedulingCost()
 	res.SchedNanos = float64(schedDur.Nanoseconds())
