@@ -1,18 +1,24 @@
-# Build, test and benchmark entry points. `make bench-json` appends the
-# benchmark record of this PR's scheduler to BENCH_PR1.json so the perf
-# trajectory is tracked in-repo from PR 1 onward.
+# Build, test and benchmark entry points. `make bench-json` writes the
+# benchmark record of the current PR to BENCH_PR<n>.json so the perf
+# trajectory is tracked in-repo from PR 1 onward; since PR 2 the record
+# includes BenchmarkLiveEngine — the first real (non-simulated) numbers.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR1.json
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: build test vet fmt-check bench bench-json
+.PHONY: build test test-race vet fmt-check bench bench-live bench-json
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# The live engine is the repo's first truly concurrent code; its tests (and
+# the bufferpool substrate it pins chunks through) must stay race-clean.
+test-race:
+	$(GO) test -race ./internal/engine/... ./internal/bufferpool/...
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +30,11 @@ fmt-check:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
+
+# End-to-end live engine comparison (all four policies over a real table
+# file on $$TMPDIR; see live_bench_test.go).
+bench-live:
+	$(GO) test -run '^$$' -bench BenchmarkLiveEngine -benchmem -benchtime $(BENCHTIME) .
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

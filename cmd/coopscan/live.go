@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"coopscan/internal/core"
+	"coopscan/internal/engine"
+	"coopscan/internal/exec"
+)
+
+// runLive is the `coopscan live` subcommand: it generates (or reuses) a
+// real chunked table file and runs N concurrent query streams over it in
+// wall-clock time under one or all scheduling policies, reporting
+// per-query latency and aggregate bandwidth. This is the live counterpart
+// of the simulated experiments: same policies, same ABM decision core,
+// real goroutines and real file I/O.
+func runLive(args []string) {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	file := fs.String("file", "", "table file path (default: a per-shape file under $TMPDIR, created on demand)")
+	rows := fs.Int64("rows", 1_500_000, "table rows when creating the file")
+	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the file")
+	seed := fs.Uint64("seed", 1, "generator and workload seed")
+	bufferMB := fs.Int64("buffer-mb", 16, "buffer budget in MiB")
+	streams := fs.Int("streams", 8, "concurrent query streams")
+	queries := fs.Int("queries", 2, "queries per stream")
+	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
+	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
+	verbose := fs.Bool("v", false, "print per-query latencies")
+	fs.Parse(args)
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan live:", err)
+		os.Exit(2)
+	}
+	tf, err := openOrCreate(*file, *rows, *tpc, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan live:", err)
+		os.Exit(1)
+	}
+	defer tf.Close()
+	fmt.Printf("table: %s (%d rows, %d chunks × %s, %s total)\n",
+		tf.Path(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
+		fmtBytes(int64(tf.NumChunks())*tf.ChunkBytes()))
+	fmt.Printf("workload: %d streams × %d queries, %s buffer, stagger %v\n\n",
+		*streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
+
+	for _, pol := range policies {
+		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *streams, *queries, *seed, *stagger, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coopscan live:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+	}
+}
+
+func parsePolicies(s string) ([]core.Policy, error) {
+	if s == "all" {
+		return core.Policies, nil
+	}
+	for _, p := range core.Policies {
+		if p.String() == s {
+			return []core.Policy{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", s)
+}
+
+// openOrCreate opens the table file, generating it only when the path does
+// not exist yet. An existing file that fails to open is an error — never
+// overwritten (the user may have pointed -file at something else entirely).
+func openOrCreate(path string, rows, tpc int64, seed uint64) (*engine.TableFile, error) {
+	if path == "" {
+		path = filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-live-%d-%d-%d.tbl", rows, tpc, seed))
+	}
+	if _, err := os.Stat(path); err == nil {
+		return engine.Open(path)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	fmt.Printf("generating %s ...\n", path)
+	return engine.Create(path, rows, tpc, seed)
+}
+
+// liveOutcome is one executed query.
+type liveOutcome struct {
+	name    string
+	chunks  int
+	latency time.Duration
+}
+
+// liveResult is one policy's aggregate outcome.
+type liveResult struct {
+	policy    core.Policy
+	total     time.Duration
+	outcomes  []liveOutcome
+	stats     engine.SystemStats
+	realBytes int64
+	verbose   bool
+}
+
+func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*liveResult, error) {
+	eng, err := engine.New(tf, engine.Config{Policy: pol, BufferBytes: bufferBytes})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	plan := engine.PlanWorkload(tf.NumChunks(), streams, queries, seed)
+	res := &liveResult{policy: pol, verbose: verbose}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	start := time.Now()
+	for s := range plan {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(s) * stagger)
+			for _, q := range plan[s] {
+				qStart := time.Now()
+				st, err := eng.Scan(q.Name, q.Ranges, liveOnChunk(q.Slow))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				res.outcomes = append(res.outcomes, liveOutcome{
+					name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
+				})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.total = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.stats = eng.Stats()
+	res.realBytes = int64(res.stats.Pool.Misses) * tf.StripeBytes()
+	sort.Slice(res.outcomes, func(i, j int) bool { return res.outcomes[i].name < res.outcomes[j].name })
+	return res, nil
+}
+
+// liveOnChunk returns the per-chunk execution body: the FAST Q6 kernel, or
+// the SLOW Q1 kernel with extra arithmetic.
+func liveOnChunk(slow bool) func(int, engine.ChunkData) {
+	if slow {
+		return func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
+	}
+	pred := exec.DefaultQ6()
+	return func(_ int, d engine.ChunkData) { engine.Q6Chunk(d, pred) }
+}
+
+func (r *liveResult) String() string {
+	var sum, max time.Duration
+	for _, o := range r.outcomes {
+		sum += o.latency
+		if o.latency > max {
+			max = o.latency
+		}
+	}
+	avg := time.Duration(0)
+	if len(r.outcomes) > 0 {
+		avg = sum / time.Duration(len(r.outcomes))
+	}
+	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
+	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  loads %4d  evict %4d  read %8s (%.0f MiB/s)\n",
+		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond), max.Round(time.Millisecond),
+		r.stats.ABM.Loads, r.stats.ABM.Evictions, fmtBytes(r.realBytes), bw)
+	if r.verbose {
+		for _, o := range r.outcomes {
+			out += fmt.Sprintf("  %-10s %4d chunks  %8v\n", o.name, o.chunks, o.latency.Round(time.Millisecond))
+		}
+	}
+	return out
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

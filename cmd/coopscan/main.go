@@ -7,6 +7,12 @@
 //	coopscan -exp table2           # the paper's headline NSM comparison
 //	coopscan -exp all -quick       # every experiment, scaled down
 //	coopscan -list                 # enumerate experiments
+//
+// The live subcommand runs the wall-clock engine over a real table file
+// instead of the simulator:
+//
+//	coopscan live                  # 8 streams, all policies, tmp table file
+//	coopscan live -policy relevance -streams 16 -buffer-mb 32
 package main
 
 import (
@@ -66,6 +72,10 @@ func catalogue() []experiment {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "live" {
+		runLive(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
 	quick := flag.Bool("quick", false, "run the scaled-down configuration")
 	list := flag.Bool("list", false, "list available experiments")

@@ -1,0 +1,112 @@
+package bufferpool
+
+import "testing"
+
+// ChunkView corner cases for the live engine's §7.1 layering: the engine
+// pins chunk-sized page ranges and holds the views until the ABM evicts
+// the chunk, so overlapping views, double releases and eviction around
+// partially pinned ranges must all behave.
+
+func TestChunkViewPinOverlap(t *testing.T) {
+	reads := 0
+	p := New(8, LRU, testReader(&reads))
+	a, err := p.PinRange(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.PinRange(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 6 {
+		t.Errorf("reads = %d, want 6 (pages 2,3 shared)", reads)
+	}
+	// The shared pages carry two pins: releasing one view must keep them
+	// resident and still pinned for the other.
+	a.Release()
+	for id := PageID(2); id < 6; id++ {
+		if !p.Contains(id) {
+			t.Fatalf("page %d gone after releasing the overlapping view", id)
+		}
+	}
+	// Force evictions: b's pages (2..5) must survive, a's exclusive pages
+	// (0,1) are fair game.
+	for id := PageID(10); id < 14; id++ {
+		mustPin(t, p, id)
+		p.Unpin(id)
+	}
+	for id := PageID(2); id < 6; id++ {
+		if !p.Contains(id) {
+			t.Errorf("pinned page %d evicted", id)
+		}
+	}
+	b.Release()
+}
+
+func TestChunkViewReleaseTwice(t *testing.T) {
+	reads := 0
+	p := New(4, LRU, testReader(&reads))
+	v, err := p.PinRange(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	// A second release must be a no-op (the view is emptied), not a pin
+	// underflow panic.
+	v.Release()
+	if v.Pages != nil || v.Data != nil {
+		t.Errorf("released view retains state: %v", v.Pages)
+	}
+	// All pins are gone: every page is now evictable exactly once.
+	for id := PageID(10); id < 14; id++ {
+		mustPin(t, p, id)
+		p.Unpin(id)
+	}
+	for id := PageID(0); id < 3; id++ {
+		if p.Contains(id) {
+			t.Errorf("page %d still resident after full turnover", id)
+		}
+	}
+}
+
+func TestChunkViewEvictionOfPartiallyPinnedRange(t *testing.T) {
+	reads := 0
+	p := New(6, LRU, testReader(&reads))
+	v, err := p.PinRange(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release pins on the middle of the range by hand (the view keeps its
+	// bookkeeping; this models a chunk whose pages the engine is migrating
+	// out of a view during partial eviction experiments).
+	p.Unpin(1)
+	p.Unpin(2)
+	// Fill the pool: only the unpinned middle pages may be evicted.
+	for id := PageID(10); id < 14; id++ {
+		mustPin(t, p, id)
+		p.Unpin(id)
+	}
+	if !p.Contains(0) || !p.Contains(3) {
+		t.Error("pinned boundary pages were evicted")
+	}
+	if p.Contains(1) && p.Contains(2) {
+		t.Error("no unpinned middle page was evicted under pressure")
+	}
+	// Releasing the view now unpins pages 0 and 3; 1 and 2 were already
+	// unpinned by hand, so Release on the evicted pages must not panic:
+	// re-pin what remains first to keep the accounting consistent.
+	if p.Contains(1) {
+		p.Pin(1)
+	} else {
+		mustPin(t, p, 1) // reload so the view's unpin finds a pin
+	}
+	if p.Contains(2) {
+		p.Pin(2)
+	} else {
+		mustPin(t, p, 2)
+	}
+	v.Release()
+	if p.Resident() == 0 {
+		t.Error("pool emptied unexpectedly")
+	}
+}

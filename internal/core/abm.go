@@ -114,6 +114,12 @@ type Config struct {
 	// decisions (for the paper's Figure 8).
 	MeasureScheduling bool
 
+	// ChunkCost overrides the assumed cost (in clock seconds) of loading
+	// one chunk, used to normalise waiting time in queryRelevance. Zero
+	// derives it from the simulated disk (sim mode) or a 1 GB/s estimate
+	// (live mode).
+	ChunkCost float64
+
 	// NoShortQueryPriority disables the -chunksNeeded(q) term of
 	// queryRelevance (ablation: queries are then served round-robin-ish by
 	// waiting time alone).
@@ -155,9 +161,17 @@ type SystemStats struct {
 
 // ABM is the Active Buffer Manager: it tracks every active CScan's data
 // needs and schedules chunk loads and evictions according to the policy.
+//
+// An ABM exists in one of two modes. Simulation mode (New) couples it to a
+// discrete-event environment and a simulated disk; the policy strategies
+// then also drive the blocking scan/loader loops. Live mode (NewLive) has
+// no environment: the ABM is pure bookkeeping plus the SchedulerPolicy
+// decision core, and the live engine (internal/engine) supplies the
+// goroutines, the real file I/O and the wall clock.
 type ABM struct {
-	env    *sim.Env
+	env    *sim.Env // nil in live mode
 	disk   *disk.Disk
+	clock  Clock
 	layout storage.Layout
 	cfg    Config
 
@@ -185,11 +199,25 @@ type ABM struct {
 	// buffer space, so assembly degrades to serial rather than deadlocking.
 	assembling map[partKey]int
 
+	// fresh marks chunks the live engine finished loading that no query has
+	// pinned yet; eviction avoids them while some query still needs them.
+	// The simulator guarantees the same property by yielding after each
+	// load (the loaders' p.Wait(0)) so the woken queries pin before the
+	// next eviction pass; the live engine's goroutines have no such
+	// cooperative ordering, so the protection is explicit. Always empty in
+	// sim mode.
+	fresh map[int]bool
+
 	// activity is the global "something changed" broadcast: chunk loaded,
 	// chunk consumed, query registered/unregistered. Blocked parties wake
 	// and re-examine the world; the simulation kernel makes this pattern
-	// deterministic.
+	// deterministic. Nil in live mode, where the engine's condition
+	// variable plays this role.
 	activity *sim.Signal
+
+	// onEvict, when set, observes every part eviction (live mode: the
+	// engine releases the part's pinned buffer-pool pages there).
+	onEvict func(chunk, col int)
 
 	closed bool
 	strat  strategy
@@ -205,23 +233,55 @@ type ABM struct {
 	chunkCost float64
 }
 
-// strategy is the per-policy behaviour behind ABM.Next.
+// strategy is the per-policy behaviour behind ABM.Next: the shared
+// SchedulerPolicy decision core plus the sim-only blocking delivery loop.
 type strategy interface {
-	register(q *Query)
-	unregister(q *Query)
+	SchedulerPolicy
 	// next blocks until a chunk is deliverable to q and returns it with its
 	// parts pinned; ok=false means the scan has consumed its whole range.
 	next(p *sim.Proc, q *Query) (chunk int, ok bool)
-	// consumed is invoked after q releases chunk c.
-	consumed(q *Query, c int)
 }
 
 // New creates an ABM over the layout, backed by the simulated disk.
 func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
+	a := newABM(env, layout, cfg)
+	a.env = env
+	a.disk = d
+	a.activity = env.NewSignal("abm-activity")
+	if a.chunkCost == 0 {
+		avg := layout.ChunkBytes(0, storage.AllCols(min(layout.Table().NumColumns(), storage.MaxColumns)))
+		a.chunkCost = d.TransferTime(maxI64(avg, 1))
+	}
+	if !a.cfg.DisableLoader {
+		switch s := a.strat.(type) {
+		case *elevStrategy:
+			env.Process("abm-elevator", s.loader)
+		case *relevStrategy:
+			env.Process("abm-relevance", s.loader)
+		}
+	}
+	return a
+}
+
+// NewLive creates a simulation-free ABM: bookkeeping plus the policy
+// decision core, driven externally (by internal/engine) under the given
+// clock. Central loader processes are never started; the engine's
+// scheduler goroutine polls Policy().NextLoad instead.
+func NewLive(clock Clock, layout storage.Layout, cfg Config) *ABM {
+	cfg.DisableLoader = true
+	a := newABM(clock, layout, cfg)
+	if a.chunkCost == 0 {
+		// Waiting-time normalisation only; any plausible per-chunk load
+		// cost works. Default to ~16 MB at 1 GB/s.
+		a.chunkCost = 0.016
+	}
+	return a
+}
+
+func newABM(clock Clock, layout storage.Layout, cfg Config) *ABM {
 	cfg = cfg.withDefaults()
 	a := &ABM{
-		env:             env,
-		disk:            d,
+		clock:           clock,
 		layout:          layout,
 		cfg:             cfg,
 		cache:           newBufcache(layout, cfg.BufferBytes),
@@ -229,31 +289,29 @@ func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
 		starvedInterest: make([]int, layout.NumChunks()),
 		almostInterest:  make([]int, layout.NumChunks()),
 		assembling:      make(map[partKey]int),
+		fresh:           make(map[int]bool),
+		chunkCost:       cfg.ChunkCost,
 	}
-	a.activity = env.NewSignal("abm-activity")
-	avg := layout.ChunkBytes(0, storage.AllCols(min(layout.Table().NumColumns(), storage.MaxColumns)))
-	a.chunkCost = d.TransferTime(maxI64(avg, 1))
 	switch cfg.Policy {
 	case Normal:
 		a.strat = &seqStrategy{a: a, attach: false}
 	case Attach:
 		a.strat = &seqStrategy{a: a, attach: true}
 	case Elevator:
-		s := &elevStrategy{a: a}
-		a.strat = s
-		if !cfg.DisableLoader {
-			env.Process("abm-elevator", s.loader)
-		}
+		a.strat = &elevStrategy{a: a}
 	case Relevance:
-		s := &relevStrategy{a: a}
-		a.strat = s
-		if !cfg.DisableLoader {
-			env.Process("abm-relevance", s.loader)
-		}
+		a.strat = &relevStrategy{a: a}
 	default:
 		panic(fmt.Sprintf("core: unknown policy %v", cfg.Policy))
 	}
 	return a
+}
+
+// broadcast wakes the simulation's blocked parties; a no-op in live mode.
+func (a *ABM) broadcast() {
+	if a.activity != nil {
+		a.activity.Broadcast()
+	}
 }
 
 // Layout returns the layout the ABM schedules over.
@@ -294,7 +352,7 @@ func (a *ABM) Register(q *Query) {
 	if a.closed {
 		panic("core: Register on closed ABM")
 	}
-	q.enterTime = a.env.Now()
+	q.enterTime = a.clock.Now()
 	q.lastService = q.enterTime
 	a.queries = append(a.queries, q)
 	for c := 0; c < len(q.needed); c++ {
@@ -312,8 +370,8 @@ func (a *ABM) Register(q *Query) {
 		}
 	}
 	a.updateStarveFlags(q)
-	a.strat.register(q)
-	a.activity.Broadcast()
+	a.strat.Register(q)
+	a.broadcast()
 }
 
 // unregister removes a finished (or abandoned) query.
@@ -336,8 +394,8 @@ func (a *ABM) unregister(q *Query) {
 		}
 	}
 	q.starved, q.almostStarved = false, false
-	a.strat.unregister(q)
-	a.activity.Broadcast()
+	a.strat.Unregister(q)
+	a.broadcast()
 }
 
 // Next delivers the next chunk for q (pinned) or ok=false at end of scan.
@@ -352,7 +410,7 @@ func (a *ABM) Next(p *sim.Proc, q *Query) (int, bool) {
 // is marked consumed, the consuming query's availability and the chunk's
 // interest counters are adjusted, and interested parties are woken.
 func (a *ABM) Release(q *Query, c int) {
-	a.cache.unpinAll(a.queryCols(q), c, a.env.Now())
+	a.cache.unpinAll(a.queryCols(q), c, a.clock.Now())
 	q.markConsumed(c)
 	a.interestCount[c]--
 	if q.starved {
@@ -362,14 +420,14 @@ func (a *ABM) Release(q *Query, c int) {
 		a.almostInterest[c]--
 	}
 	a.loseAvailability(q, c)
-	q.lastService = a.env.Now()
-	a.strat.consumed(q, c)
-	a.activity.Broadcast()
+	q.lastService = a.clock.Now()
+	a.strat.Consumed(q, c)
+	a.broadcast()
 }
 
 // Finish completes the scan: records its end time and unregisters it.
 func (a *ABM) Finish(q *Query) Stats {
-	q.doneTime = a.env.Now()
+	q.doneTime = a.clock.Now()
 	a.unregister(q)
 	return q.stats()
 }
@@ -378,7 +436,7 @@ func (a *ABM) Finish(q *Query) Stats {
 // finished; it must be called before the simulation can drain.
 func (a *ABM) Shutdown() {
 	a.closed = true
-	a.activity.Broadcast()
+	a.broadcast()
 }
 
 // Stats returns system-level counters.
@@ -532,6 +590,9 @@ func (a *ABM) evictPart(k partKey) {
 	a.partLeavingResidency(k)
 	a.cache.evict(k)
 	a.stats.Evictions++
+	if a.onEvict != nil {
+		a.onEvict(k.chunk, k.col)
+	}
 }
 
 // interested counts registered queries that still need chunk c; with a
@@ -565,7 +626,7 @@ func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) in
 			continue
 		}
 		runs := a.cache.coldRuns(k)
-		a.cache.beginLoad(k, a.env.Now())
+		a.cache.beginLoad(k, a.clock.Now())
 		for _, r := range runs {
 			tag := "abm"
 			if attr != nil {
@@ -580,10 +641,10 @@ func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) in
 				attr.bytesRead += r.Size
 			}
 		}
-		a.cache.finishLoad(k, a.env.Now())
+		a.cache.finishLoad(k, a.clock.Now())
 		a.partBecameResident(k)
 		a.stats.Loads++
-		a.activity.Broadcast()
+		a.broadcast()
 	}
 	return requests
 }
@@ -618,7 +679,8 @@ func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) flo
 		var victim *part
 		var best float64
 		for _, p := range a.cache.loadedParts() {
-			if !evictable(p) || a.assembling[p.key] > 0 || (keep != nil && keep(p)) {
+			if !evictable(p) || a.assembling[p.key] > 0 || a.freshUnpinned(p.key.chunk) ||
+				(keep != nil && keep(p)) {
 				continue
 			}
 			s := score(p)
@@ -634,6 +696,14 @@ func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) flo
 		a.evictPart(victim.key)
 	}
 	return true
+}
+
+// freshUnpinned reports whether the chunk is a live-engine load no query
+// has pinned yet while some registered query still needs it (the guard
+// self-disables when the interested queries are gone). Always false in sim
+// mode, where fresh stays empty.
+func (a *ABM) freshUnpinned(c int) bool {
+	return len(a.fresh) > 0 && a.fresh[c] && a.interestCount[c] > 0
 }
 
 // lruScore orders victims by least-recent touch.

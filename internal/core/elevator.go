@@ -25,8 +25,8 @@ type elevEntry struct {
 	waiting []*Query
 }
 
-func (s *elevStrategy) register(q *Query)   {}
-func (s *elevStrategy) unregister(q *Query) { s.dropQuery(q) }
+func (s *elevStrategy) Register(q *Query)   {}
+func (s *elevStrategy) Unregister(q *Query) { s.dropQuery(q) }
 
 func (s *elevStrategy) dropQuery(q *Query) {
 	for i := 0; i < len(s.outstanding); {
@@ -49,7 +49,7 @@ func (e *elevEntry) remove(q *Query) {
 	}
 }
 
-func (s *elevStrategy) consumed(q *Query, c int) {
+func (s *elevStrategy) Consumed(q *Query, c int) {
 	for i, e := range s.outstanding {
 		if e.chunk != c {
 			continue
@@ -76,39 +76,43 @@ func (s *elevStrategy) outstandingChunk(c int) bool {
 // from earlier in the sweep) is used as a buffer hit.
 func (s *elevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 	a := s.a
-	cols := a.queryCols(q)
 	for {
 		if q.finished() {
 			return 0, false
 		}
-		chunk := -1
-		for _, e := range s.outstanding {
-			if q.needs(e.chunk) && a.cache.chunkLoadedFor(cols, e.chunk) {
-				chunk = e.chunk
-				break
-			}
-		}
-		if chunk < 0 {
-			// Lowest-index available chunk, straight from the query's
-			// maintained availability list (order-independent minimum).
-			for _, c := range q.availList {
-				if q.needs(c) && (chunk < 0 || c < chunk) {
-					chunk = c
-				}
-			}
-			if chunk >= 0 {
-				a.stats.BufferHits++
-			}
-		}
-		if chunk >= 0 {
-			a.cache.pinAll(cols, chunk, a.env.Now())
-			q.lastService = a.env.Now()
-			return chunk, true
+		if c := s.PickAvailable(q); c >= 0 {
+			a.Pin(q, c)
+			return c, true
 		}
 		q.blocked = true
 		a.activity.Wait(p)
 		q.blocked = false
 	}
+}
+
+// PickAvailable prefers the query's outstanding loader-loaded chunks (in
+// load order), falling back to any other resident needed chunk — a
+// leftover from earlier in the sweep, counted as a buffer hit.
+func (s *elevStrategy) PickAvailable(q *Query) int {
+	a := s.a
+	cols := a.queryCols(q)
+	for _, e := range s.outstanding {
+		if q.needs(e.chunk) && a.cache.chunkLoadedFor(cols, e.chunk) {
+			return e.chunk
+		}
+	}
+	// Lowest-index available chunk, straight from the query's maintained
+	// availability list (order-independent minimum).
+	chunk := -1
+	for _, c := range q.availList {
+		if q.needs(c) && (chunk < 0 || c < chunk) {
+			chunk = c
+		}
+	}
+	if chunk >= 0 {
+		a.stats.BufferHits++
+	}
+	return chunk
 }
 
 // nextToLoad finds the next chunk in cursor order that some query needs and
@@ -145,42 +149,66 @@ func (a *ABM) colsOrNSM(cols storage.ColSet) storage.ColSet {
 	return cols
 }
 
+// NextLoad picks the next cursor-order chunk some query needs that still
+// requires I/O, attributed to the first interested query; ok=false when no
+// query is registered, the window of outstanding loads is full, or nothing
+// needs I/O.
+func (s *elevStrategy) NextLoad() (LoadDecision, bool) {
+	a := s.a
+	if len(a.queries) == 0 || len(s.outstanding) >= a.cfg.ElevatorWindow {
+		return LoadDecision{}, false
+	}
+	c, cols, ok := s.nextToLoad()
+	if !ok {
+		return LoadDecision{}, false
+	}
+	var attr *Query
+	for _, q := range a.queries {
+		if q.needs(c) {
+			attr = q
+			break
+		}
+	}
+	return LoadDecision{Query: attr, Chunk: c, Cols: a.colsOrNSM(cols)}, true
+}
+
+// CommitLoad records the interested queries — they are the ones the
+// elevator waits for before letting the chunk go — and advances the sweep
+// cursor past the chunk.
+func (s *elevStrategy) CommitLoad(d LoadDecision) {
+	a := s.a
+	entry := &elevEntry{chunk: d.Chunk}
+	for _, q := range a.queries {
+		if q.needs(d.Chunk) {
+			entry.waiting = append(entry.waiting, q)
+		}
+	}
+	s.outstanding = append(s.outstanding, entry)
+	s.cursor = (d.Chunk + 1) % a.layout.NumChunks()
+}
+
+// EnsureSpace evicts LRU victims but never outstanding (loader-loaded,
+// not yet consumed by every recorded query) chunks.
+func (s *elevStrategy) EnsureSpace(need int64, _ *Query) bool {
+	keep := func(pt *part) bool { return s.outstandingChunk(pt.key.chunk) }
+	return s.a.makeSpace(need, keep, lruScore)
+}
+
 func (s *elevStrategy) loader(p *sim.Proc) {
 	a := s.a
 	for !a.closed {
-		if len(a.queries) == 0 || len(s.outstanding) >= a.cfg.ElevatorWindow {
-			a.activity.Wait(p)
-			continue
-		}
-		c, cols, ok := s.nextToLoad()
+		d, ok := s.NextLoad()
 		if !ok {
 			a.activity.Wait(p)
 			continue
 		}
-		loadCols := a.colsOrNSM(cols)
-		need := a.coldBytesFor(c, loadCols)
-		if a.cache.free() < need {
-			keep := func(pt *part) bool { return s.outstandingChunk(pt.key.chunk) }
-			if !a.makeSpace(need, keep, lruScore) {
-				a.activity.Wait(p)
-				continue
-			}
+		need := a.coldBytesFor(d.Chunk, d.Cols)
+		if a.cache.free() < need && !s.EnsureSpace(need, d.Query) {
+			a.activity.Wait(p)
+			continue
 		}
-		// Record the interested queries before the load: they are the ones
-		// the elevator waits for before letting the chunk go.
-		entry := &elevEntry{chunk: c}
-		var attr *Query
-		for _, q := range a.queries {
-			if q.needs(c) {
-				entry.waiting = append(entry.waiting, q)
-				if attr == nil {
-					attr = q
-				}
-			}
-		}
-		s.outstanding = append(s.outstanding, entry)
-		a.loadParts(p, c, loadCols, attr)
-		s.cursor = (c + 1) % a.layout.NumChunks()
+		s.CommitLoad(d)
+		a.loadParts(p, d.Chunk, d.Cols, d.Query)
 		// Let the signalled queries pin the chunk before the next load's
 		// eviction pass runs.
 		p.Wait(0)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"coopscan/internal/storage"
+)
+
+// This file is the live-engine surface of the ABM: the entry points
+// internal/engine uses to drive the same bookkeeping the simulation driver
+// uses, minus the simulated disk. The engine serialises all calls under its
+// own mutex; nothing here blocks.
+
+// Policy exposes the decision core of the configured policy.
+func (a *ABM) Policy() SchedulerPolicy { return a.strat }
+
+// ColdBytes returns the bytes that still need I/O to make chunk c resident
+// for cols (zero for NSM).
+func (a *ABM) ColdBytes(c int, cols storage.ColSet) int64 {
+	return a.coldBytesFor(c, cols)
+}
+
+// FreeBytes returns the unreserved buffer capacity.
+func (a *ABM) FreeBytes() int64 { return a.cache.free() }
+
+// SetEvictHook installs an observer invoked for every part eviction with
+// the part's (chunk, column) key; column is -1 for NSM parts. The live
+// engine releases the part's pinned buffer-pool pages there.
+func (a *ABM) SetEvictHook(h func(chunk, col int)) { a.onEvict = h }
+
+// BeginLoad marks the absent parts of the decision's chunk as loading and
+// reserves their buffer space; the caller then performs the reads through
+// its own substrate (the engine's page pool knows better than the ABM
+// which pages are physically cached). Chunk-level I/O accounting
+// (requests, bytes, per-query attribution) happens here, mirroring the
+// simulation's loadParts. The caller must have ensured space
+// (FreeBytes() >= ColdBytes) and must call FinishLoad after the reads
+// complete.
+func (a *ABM) BeginLoad(d LoadDecision) {
+	cols := a.colsOrNSM(d.Cols)
+	var kb [storage.MaxColumns]partKey
+	keys := a.cache.partsInto(kb[:0], cols, d.Chunk)
+	sortPartsBySize(a.cache, keys)
+	for _, k := range keys {
+		if a.cache.state(k) != partAbsent {
+			continue
+		}
+		for _, r := range a.cache.coldRuns(k) {
+			a.stats.IORequests++
+			a.stats.BytesRead += r.Size
+			if d.Query != nil {
+				d.Query.ios++
+				d.Query.bytesRead += r.Size
+			}
+		}
+		a.cache.beginLoad(k, a.clock.Now())
+	}
+}
+
+// FinishLoad transitions the parts BeginLoad marked to resident and
+// propagates availability to the interested queries. Only the single
+// scheduler goroutine issues loads, so the loading parts of (chunk, cols)
+// are exactly the ones BeginLoad marked.
+func (a *ABM) FinishLoad(d LoadDecision) {
+	cols := a.colsOrNSM(d.Cols)
+	var kb [storage.MaxColumns]partKey
+	keys := a.cache.partsInto(kb[:0], cols, d.Chunk)
+	for _, k := range keys {
+		if a.cache.state(k) != partLoading {
+			continue
+		}
+		a.cache.finishLoad(k, a.clock.Now())
+		a.partBecameResident(k)
+		a.stats.Loads++
+	}
+	// Protect the fresh chunk from eviction until a query pins it: the live
+	// engine's next eviction pass may run before any woken query goroutine
+	// reacquires the lock, and must not evict what was just loaded for them
+	// (the sim loaders guarantee this by yielding after each load).
+	a.fresh[d.Chunk] = true
+}
+
+// Pin pins every part of chunk c that q reads (the chunk must be fully
+// resident for q's columns, i.e. PickAvailable returned it) and stamps the
+// query's service time. Release undoes it. The first pin also lifts the
+// chunk's fresh-load eviction protection.
+func (a *ABM) Pin(q *Query, c int) {
+	a.cache.pinAll(a.queryCols(q), c, a.clock.Now())
+	q.lastService = a.clock.Now()
+	delete(a.fresh, c)
+}

@@ -80,14 +80,14 @@ func TestNSMUseRelevancePrefersLeastShared(t *testing.T) {
 	f.register("q2", rangeOf(5, 10), 0)
 	f.load(t, 2, 0) // interesting to q1 only
 	f.load(t, 7, 0) // interesting to both
-	if got := rs.chooseAvailable(q1); got != 2 {
-		t.Errorf("chooseAvailable = %d, want 2 (fewest interested queries)", got)
+	if got := rs.PickAvailable(q1); got != 2 {
+		t.Errorf("PickAvailable = %d, want 2 (fewest interested queries)", got)
 	}
 	// After q1 consumes chunk 2, only the shared one remains.
 	q1.markConsumed(2)
 	f.abm.interestCount[2]--
-	if got := rs.chooseAvailable(q1); got != 7 {
-		t.Errorf("chooseAvailable = %d, want 7", got)
+	if got := rs.PickAvailable(q1); got != 7 {
+		t.Errorf("PickAvailable = %d, want 7", got)
 	}
 }
 
@@ -207,18 +207,18 @@ func TestElevatorWaitSetRetiresChunks(t *testing.T) {
 	if !es.outstandingChunk(1) || es.outstandingChunk(2) {
 		t.Error("outstandingChunk wrong")
 	}
-	es.consumed(q1, 1)
+	es.Consumed(q1, 1)
 	if len(es.outstanding) != 1 || len(entry.waiting) != 1 {
 		t.Error("first consumption should not retire the chunk")
 	}
-	es.consumed(q2, 1)
+	es.Consumed(q2, 1)
 	if len(es.outstanding) != 0 {
 		t.Error("chunk should retire once all waiters consumed")
 	}
 	// Unregister drops a query from every wait set.
 	entry2 := &elevEntry{chunk: 2, waiting: []*Query{q1, q2}}
 	es.outstanding = append(es.outstanding, entry2)
-	es.unregister(q1)
+	es.Unregister(q1)
 	if len(entry2.waiting) != 1 || entry2.waiting[0] != q2 {
 		t.Errorf("unregister left waiting = %v", entry2.waiting)
 	}
@@ -235,8 +235,8 @@ func TestDSMUseRelevancePerByteAndOverlap(t *testing.T) {
 	f.load(t, 0, storage.Cols(0, 1)) // interesting to q + both crowds
 	f.load(t, 4, storage.Cols(0, 1)) // interesting to q alone
 	// Same cached footprint, fewer interested queries: chunk 4 wins.
-	if got := rs.chooseAvailable(q); got != 4 {
-		t.Errorf("chooseAvailable = %d, want 4 (buffer bytes per interested query)", got)
+	if got := rs.PickAvailable(q); got != 4 {
+		t.Errorf("PickAvailable = %d, want 4 (buffer bytes per interested query)", got)
 	}
 }
 

@@ -47,7 +47,11 @@ type Query struct {
 	consumed  int
 
 	blocked bool
-	wakeup  *sim.Signal
+	// waited records that the query found its next chunk non-resident at
+	// least once since the last delivery (live sequential policies use it
+	// to tell buffer hits from loader-served chunks).
+	waited bool
+	wakeup *sim.Signal
 
 	// cursor state for the sequential policies (normal/attach).
 	cursor      int
@@ -82,6 +86,17 @@ func (q *Query) available() int { return len(q.availList) }
 
 // done reports whether the scan has consumed everything.
 func (q *Query) finished() bool { return q.neededCount == 0 }
+
+// Finished reports whether the scan has consumed its whole range (the live
+// engine's loop condition; the sim driver uses ABM.Next's ok result).
+func (q *Query) Finished() bool { return q.finished() }
+
+// SetBlocked marks the query as blocked waiting for a deliverable chunk.
+// The sim delivery loops set it around their signal waits; the live engine
+// must do the same around its condition-variable waits, because the
+// relevance policy's eviction relaxation triggers only when every
+// registered query is blocked.
+func (q *Query) SetBlocked(b bool) { q.blocked = b }
 
 // remainingSet materialises the still-needed chunks as a RangeSet (used by
 // attach overlap estimation).

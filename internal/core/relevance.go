@@ -26,7 +26,7 @@ type relevStrategy struct {
 
 	// Eviction-pass snapshots of the starvation state, captured by
 	// refreshStarvation exactly where the rescanning implementation used to
-	// recompute its caches. Evictions inside makeSpaceRelevance can flip a
+	// recompute its caches. Evictions inside EnsureSpace (eviction) can flip a
 	// query's live flags mid-pass; scoring against the snapshot keeps
 	// victim selection bit-identical to the historical behaviour.
 	almostSnap     []bool // per registered query, a.queries order
@@ -58,9 +58,13 @@ func (s *relevStrategy) refreshStarvation() {
 	s.almostIntSnap = append(s.almostIntSnap[:0], a.almostInterest...)
 }
 
-func (s *relevStrategy) register(q *Query)    {}
-func (s *relevStrategy) unregister(q *Query)  {}
-func (s *relevStrategy) consumed(*Query, int) {}
+func (s *relevStrategy) Register(q *Query)    {}
+func (s *relevStrategy) Unregister(q *Query)  {}
+func (s *relevStrategy) Consumed(*Query, int) {}
+
+// CommitLoad is a no-op: relevance keeps no per-load bookkeeping beyond
+// what the cache state transitions already record.
+func (s *relevStrategy) CommitLoad(LoadDecision) {}
 
 // ---- CScan side -----------------------------------------------------------
 
@@ -71,10 +75,9 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 		if q.finished() {
 			return 0, false
 		}
-		c := s.chooseAvailable(q)
+		c := s.PickAvailable(q)
 		if c >= 0 {
-			a.cache.pinAll(a.queryCols(q), c, a.env.Now())
-			q.lastService = a.env.Now()
+			a.Pin(q, c)
 			return c, true
 		}
 		// waitForChunk: the ABM loader is woken by the broadcasts that
@@ -85,11 +88,11 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 	}
 }
 
-// chooseAvailable returns the resident needed chunk with the highest
+// PickAvailable returns the resident needed chunk with the highest
 // useRelevance, or -1 if none is available. Candidates come straight from
 // the query's maintained availability list; the winner (max score, lowest
 // chunk on ties) is independent of list order.
-func (s *relevStrategy) chooseAvailable(q *Query) int {
+func (s *relevStrategy) PickAvailable(q *Query) int {
 	a := s.a
 	start := time.Time{}
 	if a.cfg.MeasureScheduling {
@@ -148,34 +151,34 @@ func (s *relevStrategy) loader(p *sim.Proc) {
 		if a.cfg.MeasureScheduling {
 			start = time.Now()
 		}
-		q, c, cols := s.chooseWork()
+		d, ok := s.NextLoad()
 		if a.cfg.MeasureScheduling {
 			a.schedNanos += time.Since(start).Nanoseconds()
 			a.schedCalls++
 		}
-		if q == nil {
+		if !ok {
 			// blockForNextQuery: nothing is starved (or nothing loadable).
 			a.activity.Wait(p)
 			continue
 		}
-		need := a.coldBytesFor(c, cols)
-		if a.cache.free() < need && !s.makeSpaceRelevance(need, q) {
+		need := a.coldBytesFor(d.Chunk, d.Cols)
+		if a.cache.free() < need && !s.EnsureSpace(need, d.Query) {
 			a.activity.Wait(p)
 			continue
 		}
-		a.loadParts(p, c, cols, q)
+		a.loadParts(p, d.Chunk, d.Cols, d.Query)
 		// Yield for one tick so the queries just signalled can pin the
 		// chunk before the next decision round considers evicting it.
 		p.Wait(0)
 	}
 }
 
-// chooseWork combines chooseQueryToProcess and chooseChunkToLoad: starved
+// NextLoad combines chooseQueryToProcess and chooseChunkToLoad: starved
 // queries are ranked by queryRelevance, and the best loadable chunk of the
 // best query wins; if the best query has nothing loadable (everything in
 // flight), the next query is considered. The starved set comes from the
 // maintained per-query flags — no recomputation.
-func (s *relevStrategy) chooseWork() (*Query, int, storage.ColSet) {
+func (s *relevStrategy) NextLoad() (LoadDecision, bool) {
 	a := s.a
 	s.cands = s.cands[:0]
 	for _, q := range a.queries {
@@ -193,10 +196,10 @@ func (s *relevStrategy) chooseWork() (*Query, int, storage.ColSet) {
 	}
 	for _, cd := range cands {
 		if c, cols, ok := s.chooseChunkToLoad(cd.q); ok {
-			return cd.q, c, cols
+			return LoadDecision{Query: cd.q, Chunk: c, Cols: cols}, true
 		}
 	}
-	return nil, -1, 0
+	return LoadDecision{}, false
 }
 
 // queryRelevance prioritises starved queries that need little more data,
@@ -210,7 +213,7 @@ func (s *relevStrategy) queryRelevance(q *Query) float64 {
 		rel -= float64(q.remaining())
 	}
 	if !a.cfg.NoWaitPromotion {
-		wait := (a.env.Now() - q.lastService) / a.chunkCost
+		wait := (a.clock.Now() - q.lastService) / a.chunkCost
 		rel += wait / float64(len(a.queries))
 	}
 	return rel
@@ -274,14 +277,14 @@ func (s *relevStrategy) loadRelevance(c int, q *Query) (float64, storage.ColSet)
 
 // ---- eviction --------------------------------------------------------------
 
-// makeSpaceRelevance frees need bytes following §4/§6.2: never evict pinned
+// EnsureSpace frees need bytes following §4/§6.2: never evict pinned
 // parts, parts of chunks the triggering query needs, or chunks useful to a
 // starved query; among the rest, evict the lowest keepRelevance first. In
 // DSM, column parts useless to every interested query go first, and chunk
 // eviction is iterative. If the guarded pass cannot free enough and every
 // query is blocked (a DSM corner the paper's greedy approach misses), a
 // final pass relaxes the usefulness guard to avoid deadlock.
-func (s *relevStrategy) makeSpaceRelevance(need int64, trigger *Query) bool {
+func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 	a := s.a
 	start := time.Time{}
 	if a.cfg.MeasureScheduling {

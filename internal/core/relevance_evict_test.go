@@ -6,7 +6,7 @@ import (
 	"coopscan/internal/storage"
 )
 
-// These tests drive the eviction corner paths of makeSpaceRelevance: the
+// These tests drive the eviction corner paths of the relevance EnsureSpace: the
 // guarded pass that protects starved queries' chunks, the relaxed pass that
 // drops the usefulness guard once every query is blocked, and the
 // last-resort pass that may evict even the trigger's own chunks.
@@ -39,7 +39,7 @@ func TestMakeSpaceGuardedPassProtectsStarved(t *testing.T) {
 	// must fail without touching the protected chunks.
 	trigger.blocked = true
 	hungry2.blocked = true
-	if rs.makeSpaceRelevance(chunkSize(f), trigger) {
+	if rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("guarded pass evicted chunks useful to starved queries")
 	}
 	if got := f.abm.Stats().Evictions; got != 0 {
@@ -61,7 +61,7 @@ func TestMakeSpaceRelaxedPassWhenAllBlocked(t *testing.T) {
 	trigger.blocked = true
 	hungry1.blocked = true
 	hungry2.blocked = true
-	if !rs.makeSpaceRelevance(chunkSize(f), trigger) {
+	if !rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("relaxed pass failed to free space with every query blocked")
 	}
 	if got := f.abm.Stats().Evictions; got != 1 {
@@ -78,7 +78,7 @@ func TestMakeSpaceLastResortEvictsTriggersOwnChunks(t *testing.T) {
 	f.load(t, 0, 0)
 	f.load(t, 1, 0)
 	trigger.blocked = true
-	if !rs.makeSpaceRelevance(chunkSize(f), trigger) {
+	if !rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("last-resort pass failed: loader would wedge on its own chunks")
 	}
 	if got := f.abm.Stats().Evictions; got == 0 {
@@ -97,7 +97,7 @@ func TestMakeSpaceLastResortSparesPinnedParts(t *testing.T) {
 	f.abm.cache.pin(partKey{chunk: 0, col: -1})
 	f.abm.cache.pin(partKey{chunk: 1, col: -1})
 	trigger.blocked = true
-	if rs.makeSpaceRelevance(chunkSize(f), trigger) {
+	if rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("eviction claimed success with the whole pool pinned")
 	}
 	if got := f.abm.Stats().Evictions; got != 0 {
@@ -122,7 +122,7 @@ func TestMakeSpaceDSMUselessColumnsGoFirst(t *testing.T) {
 	}
 	// Demand just past the current free space, so freeing the useless part
 	// suffices and nothing useful needs to go.
-	if !rs.makeSpaceRelevance(f.abm.cache.free()+1, trigger) {
+	if !rs.EnsureSpace(f.abm.cache.free()+1, trigger) {
 		t.Fatal("DSM first pass failed to free space")
 	}
 	if f.abm.cache.state(uselessKey) != partAbsent {
@@ -149,7 +149,7 @@ func TestMakeSpaceEvictionKeepsCountersConsistent(t *testing.T) {
 	if rich.starved || rich.almostStarved {
 		t.Fatalf("setup: rich avail=%d, want 3 (neither starved nor almost-starved)", rich.available())
 	}
-	if !rs.makeSpaceRelevance(chunkSize(f), trigger) {
+	if !rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("eviction failed")
 	}
 	auditIncrementalState(t, f.abm, "after eviction")

@@ -16,14 +16,23 @@ import (
 //     wrapping around to pick up the skipped prefix afterwards ("circular
 //     scans" as in SQLServer, RedBrick and Teradata).
 //
-// Both are demand-driven: the query process itself issues the chunk loads,
-// with a small asynchronous read-ahead so CPU work overlaps I/O.
+// Both are demand-driven: in the simulator the query process itself issues
+// the chunk loads, with a small asynchronous read-ahead so CPU work
+// overlaps I/O. In the live engine the same cursor-order decisions are
+// executed by the central scheduler goroutine via NextLoad, which serves
+// the registered queries' demand (plus read-ahead) round-robin — the
+// wall-clock equivalent of independent demand reads interleaving at the
+// device.
 type seqStrategy struct {
 	a      *ABM
 	attach bool
+
+	// rr rotates NextLoad's starting query so no stream monopolises the
+	// live loader (sim runs never call NextLoad).
+	rr int
 }
 
-func (s *seqStrategy) register(q *Query) {
+func (s *seqStrategy) Register(q *Query) {
 	q.cursor = q.Ranges.Min()
 	if !s.attach {
 		return
@@ -65,9 +74,67 @@ func (s *seqStrategy) register(q *Query) {
 	q.attachPoint = q.cursor
 }
 
-func (s *seqStrategy) unregister(*Query) {}
+func (s *seqStrategy) Unregister(*Query) {}
 
-func (s *seqStrategy) consumed(*Query, int) {}
+func (s *seqStrategy) Consumed(*Query, int) {}
+
+// NextLoad serves the queries' sequential demand centrally (live engine
+// only): round-robin over the registered queries, each contributing its
+// next needed chunk plus Prefetch read-ahead positions, first chunk that
+// still needs I/O wins.
+func (s *seqStrategy) NextLoad() (LoadDecision, bool) {
+	a := s.a
+	n := len(a.queries)
+	for off := 0; off < n; off++ {
+		i := (s.rr + off) % n
+		q := a.queries[i]
+		cursor := q.cursor
+		for depth := 0; depth <= a.cfg.Prefetch; depth++ {
+			c, ok := nextFrom(q, cursor)
+			if !ok {
+				break
+			}
+			cursor = c + 1
+			cols := a.queryCols(q)
+			if a.cache.absentBits(cols, c) != 0 {
+				s.rr = (i + 1) % n
+				return LoadDecision{Query: q, Chunk: c, Cols: a.colsOrNSM(cols)}, true
+			}
+		}
+	}
+	return LoadDecision{}, false
+}
+
+// CommitLoad is a no-op for the sequential policies.
+func (s *seqStrategy) CommitLoad(LoadDecision) {}
+
+// PickAvailable delivers the next chunk in (possibly wrapped) cursor order
+// once it is fully resident, advancing the cursor (live engine only; the
+// sim path assembles chunks on demand in next instead). Deliveries the
+// query never had to wait for count as buffer hits, the live analogue of
+// ensureChunkDemand's no-I/O case.
+func (s *seqStrategy) PickAvailable(q *Query) int {
+	c, ok := nextSeqChunk(q)
+	if !ok {
+		return -1
+	}
+	if !s.a.cache.chunkLoadedFor(s.a.queryCols(q), c) {
+		q.waited = true
+		return -1
+	}
+	if !q.waited {
+		s.a.stats.BufferHits++
+	}
+	q.waited = false
+	q.cursor = c + 1
+	return c
+}
+
+// EnsureSpace evicts plain LRU victims, as the paper's normal/attach
+// policies do.
+func (s *seqStrategy) EnsureSpace(need int64, _ *Query) bool {
+	return s.a.makeSpace(need, nil, lruScore)
+}
 
 // nextSeqChunk returns the next chunk in (possibly wrapped) range order.
 func nextSeqChunk(q *Query) (int, bool) {
@@ -91,7 +158,7 @@ func (s *seqStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 		return 0, false
 	}
 	hit := s.a.ensureChunkDemand(p, q, c)
-	s.a.cache.pinAll(s.a.queryCols(q), c, s.a.env.Now())
+	s.a.cache.pinAll(s.a.queryCols(q), c, s.a.clock.Now())
 	if hit {
 		s.a.stats.BufferHits++
 	}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"coopscan/internal/exec"
+)
+
+// ChunkData is one delivered chunk's contents: the pinned column stripes of
+// a resident chunk, valid for the duration of the OnChunk callback (the
+// ABM's pins guarantee the underlying buffer-pool pages cannot be evicted
+// while the query processes them).
+type ChunkData struct {
+	stripes [][]byte // NumCols stripes, from the chunk's ChunkView
+	tuples  int64    // valid rows in this chunk (the last chunk is short)
+}
+
+// Tuples returns the number of valid rows in the chunk.
+func (d ChunkData) Tuples() int64 { return d.tuples }
+
+// Int64 returns row i of the stored column col.
+func (d ChunkData) Int64(col int, i int64) int64 {
+	return int64(binary.LittleEndian.Uint64(d.stripes[col][i*8:]))
+}
+
+// Col returns the raw little-endian stripe of a stored column.
+func (d ChunkData) Col(col int) []byte { return d.stripes[col] }
+
+// Q6Chunk evaluates the FAST query (TPC-H Q6) over one delivered chunk,
+// straight from the pinned buffer bytes. It computes the same aggregate as
+// exec.Q6Chunk does over the generator, so live results can be verified
+// against the simulation substrate.
+func Q6Chunk(d ChunkData, pred exec.Q6Predicate) exec.Q6Result {
+	dates, disc := d.Col(ColShipDate), d.Col(ColDiscount)
+	qty, price := d.Col(ColQuantity), d.Col(ColExtendedPrice)
+	var res exec.Q6Result
+	for i := int64(0); i < d.tuples; i++ {
+		date := int64(binary.LittleEndian.Uint64(dates[i*8:]))
+		dc := int64(binary.LittleEndian.Uint64(disc[i*8:]))
+		q := int64(binary.LittleEndian.Uint64(qty[i*8:]))
+		if date >= pred.DateLo && date < pred.DateHi &&
+			dc >= pred.DiscLo && dc <= pred.DiscHi && q < pred.MaxQty {
+			res.Revenue += int64(binary.LittleEndian.Uint64(price[i*8:])) * dc
+			res.Rows++
+		}
+	}
+	return res
+}
+
+// Q1Chunk evaluates the SLOW query (TPC-H Q1 with extraArith rounds of
+// additional arithmetic per row) over one delivered chunk, mirroring
+// exec.Q1Chunk.
+func Q1Chunk(d ChunkData, dateMax int64, extraArith int) exec.Q1Result {
+	res := make(exec.Q1Result, 4)
+	for i := int64(0); i < d.tuples; i++ {
+		if d.Int64(ColShipDate, i) > dateMax {
+			continue
+		}
+		qty := d.Int64(ColQuantity, i)
+		price := d.Int64(ColExtendedPrice, i)
+		disc := d.Int64(ColDiscount, i)
+		tax := d.Int64(ColTax, i)
+		discPrice := price * (100 - disc) / 100
+		charge := discPrice * (100 + tax) / 100
+		x := charge
+		for r := 0; r < extraArith; r++ {
+			x = x*31 + qty
+			x ^= x >> 7
+		}
+		if x == -1 {
+			continue // practically never; keeps x live
+		}
+		k := [2]byte{byte(d.Int64(ColReturnFlag, i)), byte(d.Int64(ColLineStatus, i))}
+		grp, ok := res[k]
+		if !ok {
+			grp = &exec.Q1Group{Flag: k[0], Status: k[1]}
+			res[k] = grp
+		}
+		grp.Count++
+		grp.SumQty += qty
+		grp.SumBase += price
+		grp.SumDisc += discPrice
+		grp.SumCharge += charge
+	}
+	return res
+}

@@ -1,0 +1,237 @@
+// Package engine is the live cooperative-scan runtime: it executes the
+// paper's Cooperative Scans over a real chunked table file on disk, with
+// one goroutine per query stream and a single ABM scheduler goroutine that
+// owns all chunk-load and eviction decisions, in wall-clock time.
+//
+// Where internal/core runs the policies inside a discrete-event simulator,
+// the engine drives the *same* Active Buffer Manager bookkeeping and the
+// *same* policy decision core (core.SchedulerPolicy — Normal, Attach,
+// Elevator and Relevance) over real bytes: chunks live in a page-
+// granularity bufferpool.Pool, pinned chunk-at-a-time through
+// bufferpool.ChunkView exactly as the paper's §7.1 sketches for layering
+// ABM on an existing RDBMS buffer manager, and queries (TPC-H Q6/Q1-style
+// aggregations from internal/exec's kernels) compute true results from the
+// file's contents.
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"coopscan/internal/storage"
+	"coopscan/internal/tpch"
+)
+
+// The live table file stores the lineitem columns the FAST (Q6) and SLOW
+// (Q1) queries read, as 8-byte little-endian values. Within a chunk the
+// columns are stored as contiguous fixed-size stripes in this order, so
+// one stripe is exactly one buffer-pool page and a chunk is NumCols
+// consecutive pages.
+const (
+	ColShipDate = iota
+	ColQuantity
+	ColExtendedPrice
+	ColDiscount
+	ColTax
+	ColReturnFlag
+	ColLineStatus
+	NumCols
+)
+
+// tpchCols maps the file's column order to tpch generator columns.
+var tpchCols = [NumCols]int{
+	tpch.ColShipDate,
+	tpch.ColQuantity,
+	tpch.ColExtendedPrice,
+	tpch.ColDiscount,
+	tpch.ColTax,
+	tpch.ColReturnFlag,
+	tpch.ColLineStatus,
+}
+
+// colNames names the stored columns (for the layout's table metadata).
+var colNames = [NumCols]string{
+	"l_shipdate", "l_quantity", "l_extendedprice", "l_discount",
+	"l_tax", "l_returnflag", "l_linestatus",
+}
+
+const (
+	tableMagic  = uint64(0x434f4f504c495645) // "COOPLIVE"
+	headerBytes = 64
+)
+
+// TableFile is a table stored as a real chunked file: a 64-byte header
+// followed by NumChunks × NumCols column stripes. Chunk/extent geometry is
+// described by a storage.NSMLayout so the ABM schedules over it exactly
+// like a simulated table.
+type TableFile struct {
+	f              *os.File
+	path           string
+	rows           int64
+	tuplesPerChunk int64
+	seed           uint64
+	layout         *storage.NSMLayout
+}
+
+// StripeBytes returns the size of one column stripe — the buffer-pool page
+// size of the live engine.
+func (t *TableFile) StripeBytes() int64 { return t.tuplesPerChunk * 8 }
+
+// ChunkBytes returns the on-disk size of one chunk (NumCols stripes).
+func (t *TableFile) ChunkBytes() int64 { return int64(NumCols) * t.StripeBytes() }
+
+// Layout returns the chunk/extent geometry the ABM schedules against.
+func (t *TableFile) Layout() *storage.NSMLayout { return t.layout }
+
+// NumChunks returns the chunk count.
+func (t *TableFile) NumChunks() int { return t.layout.NumChunks() }
+
+// Rows returns the table's row count.
+func (t *TableFile) Rows() int64 { return t.rows }
+
+// TuplesPerChunk returns the rows per (full) chunk.
+func (t *TableFile) TuplesPerChunk() int64 { return t.tuplesPerChunk }
+
+// Seed returns the generator seed the file was built from.
+func (t *TableFile) Seed() uint64 { return t.seed }
+
+// Path returns the file's path.
+func (t *TableFile) Path() string { return t.path }
+
+// Close closes the underlying file.
+func (t *TableFile) Close() error { return t.f.Close() }
+
+// newLayout builds the NSM geometry for a stored table: a chunk is NumCols
+// stripes of tuplesPerChunk 8-byte values, laid out contiguously from
+// device offset zero (the header is addressed separately by ReadStripe).
+func newLayout(rows, tuplesPerChunk int64) *storage.NSMLayout {
+	cols := make([]storage.Column, NumCols)
+	for i := range cols {
+		cols[i] = storage.Column{Name: colNames[i], Type: storage.Int64, BitsPerValue: 64}
+	}
+	table := &storage.Table{Name: "lineitem-live", Columns: cols, Rows: rows}
+	chunkBytes := int64(NumCols) * tuplesPerChunk * 8
+	return storage.NewNSMLayoutWidth(table, chunkBytes, 0, float64(NumCols*8))
+}
+
+// Create generates a table file of the given row count at path: real TPC-H
+// lineitem-like data from the deterministic tpch generator, written chunk
+// by chunk. Files are padded to whole chunks (trailing rows of the last
+// chunk are zero).
+func Create(path string, rows, tuplesPerChunk int64, seed uint64) (*TableFile, error) {
+	if rows <= 0 || tuplesPerChunk <= 0 {
+		return nil, fmt.Errorf("engine: Create(rows=%d, tuplesPerChunk=%d)", rows, tuplesPerChunk)
+	}
+	table := tpch.LineitemTable(1)
+	table.Rows = rows
+	gen := tpch.NewGenerator(table, seed)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	// On any failure below, remove the partial file: a truncated table at
+	// this path would make every later Open fail instead of regenerating.
+	abort := func(err error) (*TableFile, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:], tableMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], 1) // version
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(tuplesPerChunk))
+	binary.LittleEndian.PutUint64(hdr[32:], seed)
+	binary.LittleEndian.PutUint64(hdr[40:], NumCols)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return abort(err)
+	}
+
+	layout := newLayout(rows, tuplesPerChunk)
+	vals := make([]int64, tuplesPerChunk)
+	stripe := make([]byte, tuplesPerChunk*8)
+	for c := 0; c < layout.NumChunks(); c++ {
+		start := int64(c) * tuplesPerChunk
+		n := layout.ChunkTuples(c)
+		for j := 0; j < NumCols; j++ {
+			gen.Column(tpchCols[j], start, vals[:n])
+			for i := int64(0); i < n; i++ {
+				binary.LittleEndian.PutUint64(stripe[i*8:], uint64(vals[i]))
+			}
+			for i := n * 8; i < int64(len(stripe)); i++ {
+				stripe[i] = 0
+			}
+			if _, err := w.Write(stripe); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	return &TableFile{f: f, path: path, rows: rows, tuplesPerChunk: tuplesPerChunk, seed: seed, layout: layout}, nil
+}
+
+// Open opens an existing table file and validates its header.
+func Open(path string) (*TableFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: short header: %w", path, err)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[0:]); got != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: bad magic %#x", path, got)
+	}
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v != 1 {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: unsupported version %d", path, v)
+	}
+	if nc := binary.LittleEndian.Uint64(hdr[40:]); nc != NumCols {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: stores %d columns, want %d", path, nc, NumCols)
+	}
+	t := &TableFile{
+		f:              f,
+		path:           path,
+		rows:           int64(binary.LittleEndian.Uint64(hdr[16:])),
+		tuplesPerChunk: int64(binary.LittleEndian.Uint64(hdr[24:])),
+		seed:           binary.LittleEndian.Uint64(hdr[32:]),
+	}
+	t.layout = newLayout(t.rows, t.tuplesPerChunk)
+	want := headerBytes + int64(t.layout.NumChunks())*t.ChunkBytes()
+	if st, err := f.Stat(); err != nil || st.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: truncated (%v, want >= %d bytes)", path, err, want)
+	}
+	return t, nil
+}
+
+// ReadStripe reads buffer-pool page `page` (stripe j of chunk c has page id
+// c*NumCols+j) into buf, which must be StripeBytes long. It is safe for
+// concurrent use (ReadAt).
+func (t *TableFile) ReadStripe(page int64, buf []byte) error {
+	return t.ReadStripes(page, 1, buf)
+}
+
+// ReadStripes reads count consecutive pages starting at page into buf
+// (count × StripeBytes long) with a single positioned read.
+func (t *TableFile) ReadStripes(page int64, count int, buf []byte) error {
+	if int64(len(buf)) != int64(count)*t.StripeBytes() {
+		return fmt.Errorf("engine: ReadStripes buffer %d bytes, want %d", len(buf), int64(count)*t.StripeBytes())
+	}
+	_, err := t.f.ReadAt(buf, headerBytes+page*t.StripeBytes())
+	return err
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+
+	"coopscan/internal/exec"
+	"coopscan/internal/tpch"
+)
+
+// newTestFile creates a small table file in a test temp dir.
+func newTestFile(t testing.TB, rows, tuplesPerChunk int64, seed uint64) *TableFile {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "live.tbl")
+	tf, err := Create(path, rows, tuplesPerChunk, seed)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	t.Cleanup(func() { tf.Close() })
+	return tf
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	const rows, tpc = 10_000, 1024
+	tf := newTestFile(t, rows, tpc, 42)
+	if got := tf.NumChunks(); got != 10 {
+		t.Fatalf("NumChunks = %d, want 10", got)
+	}
+	re, err := Open(tf.Path())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	if re.Rows() != rows || re.TuplesPerChunk() != tpc || re.Seed() != 42 {
+		t.Fatalf("reopened meta = (%d, %d, %d)", re.Rows(), re.TuplesPerChunk(), re.Seed())
+	}
+
+	// Every stripe must hold exactly the generator's values (zero-padded in
+	// the short last chunk).
+	table := tpch.LineitemTable(1)
+	table.Rows = rows
+	gen := tpch.NewGenerator(table, 42)
+	buf := make([]byte, re.StripeBytes())
+	vals := make([]int64, tpc)
+	for c := 0; c < re.NumChunks(); c++ {
+		n := re.Layout().ChunkTuples(c)
+		for j := 0; j < NumCols; j++ {
+			if err := re.ReadStripe(int64(c*NumCols+j), buf); err != nil {
+				t.Fatalf("ReadStripe(%d,%d): %v", c, j, err)
+			}
+			gen.Column(tpchCols[j], int64(c)*tpc, vals[:n])
+			for i := int64(0); i < n; i++ {
+				if got := int64(binary.LittleEndian.Uint64(buf[i*8:])); got != vals[i] {
+					t.Fatalf("chunk %d col %d row %d = %d, want %d", c, j, i, got, vals[i])
+				}
+			}
+			for i := n * 8; i < int64(len(buf)); i++ {
+				if buf[i] != 0 {
+					t.Fatalf("chunk %d col %d: pad byte %d not zero", c, j, i)
+				}
+			}
+		}
+	}
+}
+
+// readChunkData assembles a ChunkData straight from the file (bypassing the
+// engine) for kernel verification.
+func readChunkData(t testing.TB, tf *TableFile, c int) ChunkData {
+	t.Helper()
+	stripes := make([][]byte, NumCols)
+	for j := 0; j < NumCols; j++ {
+		stripes[j] = make([]byte, tf.StripeBytes())
+		if err := tf.ReadStripe(int64(c*NumCols+j), stripes[j]); err != nil {
+			t.Fatalf("ReadStripe: %v", err)
+		}
+	}
+	return ChunkData{stripes: stripes, tuples: tf.Layout().ChunkTuples(c)}
+}
+
+func TestKernelsMatchExec(t *testing.T) {
+	const rows, tpc = 20_000, 1000
+	tf := newTestFile(t, rows, tpc, 7)
+	table := tpch.LineitemTable(1)
+	table.Rows = rows
+	gen := tpch.NewGenerator(table, 7)
+
+	pred := exec.DefaultQ6()
+	var liveQ6, simQ6 exec.Q6Result
+	liveQ1, simQ1 := make(exec.Q1Result), make(exec.Q1Result)
+	for c := 0; c < tf.NumChunks(); c++ {
+		d := readChunkData(t, tf, c)
+		start, n := int64(c)*tpc, tf.Layout().ChunkTuples(c)
+		liveQ6.Add(Q6Chunk(d, pred))
+		simQ6.Add(exec.Q6Chunk(gen, start, n, pred))
+		liveQ1.Merge(Q1Chunk(d, 700, 2))
+		simQ1.Merge(exec.Q1Chunk(gen, start, n, 700, 2))
+	}
+	if liveQ6 != simQ6 {
+		t.Errorf("Q6 over file = %+v, over generator = %+v", liveQ6, simQ6)
+	}
+	if len(liveQ1) != len(simQ1) {
+		t.Fatalf("Q1 groups: %d live vs %d sim", len(liveQ1), len(simQ1))
+	}
+	for k, g := range simQ1 {
+		lg, ok := liveQ1[k]
+		if !ok || *lg != *g {
+			t.Errorf("Q1 group %v: live %+v, sim %+v", k, lg, g)
+		}
+	}
+}

@@ -1,28 +1,65 @@
 package experiments
 
-// Decision-identity harness: TestCaptureDecisionBaseline dumps the
-// scheduling decisions' observable outcomes (Loads, IORequests, BytesRead,
-// Evictions, BufferHits) for the Table 2/3/4 experiments and the scheduler-
-// scaling sweep. Scheduler refactors are expected to keep these
-// bit-identical; capture before and after, then diff:
+// Decision-identity harness. The scheduling decisions' observable outcomes
+// (Loads, IORequests, BytesRead, Evictions, BufferHits) for the Table
+// 2/3/4 experiments and the scheduler-scaling sweep are expected to stay
+// bit-identical across scheduler refactors.
 //
-//	go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/before.txt
-//	... change the scheduler ...
-//	go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/after.txt
-//	diff /tmp/before.txt /tmp/after.txt
+// Two layers of protection:
 //
-// Without -capture the test skips, so normal runs pay nothing.
+//   - TestDecisionBaselineConformance diffs the current decisions against
+//     the checked-in golden baseline (testdata/decision_baseline.txt),
+//     captured before the SchedulerPolicy extraction that the live engine
+//     shares. It runs on every `go test` and fails on any drift. After an
+//     *intentional* scheduling change, regenerate the golden file with
+//     -capture (below) and commit it with the change.
+//
+//   - TestCaptureDecisionBaseline dumps the same baseline to a file for
+//     ad-hoc before/after diffs during development:
+//
+//     go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/before.txt
+//     ... change the scheduler ...
+//     go test ./internal/experiments -run TestCaptureDecisionBaseline -capture=/tmp/after.txt
+//     diff /tmp/before.txt /tmp/after.txt
+//
+//     Without -capture the capture test skips, so normal runs pay only the
+//     conformance diff.
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"coopscan/internal/workload"
 )
 
 var captureFile = flag.String("capture", "", "write decision baseline to this file")
+
+// writeDecisionBaseline dumps the decision-observable outcomes of the
+// quick experiment configurations.
+func writeDecisionBaseline(w io.Writer) {
+	dump := func(tag string, results []workload.Result) {
+		for _, r := range results {
+			fmt.Fprintf(w, "%s %v loads=%d ios=%d bytes=%d evict=%d hits=%d\n",
+				tag, r.Policy, r.Loads, r.IORequests, r.BytesRead, r.Evictions, r.BufferHits)
+		}
+	}
+	dump("table2", Table2(QuickTable2()).Results)
+	dump("table3", Table3(QuickTable3()).Results)
+	for _, row := range Table4(QuickTable4()).Rows {
+		fmt.Fprintf(w, "table4 %s %v loads=%d ios=%d bytes=%d evict=%d\n",
+			row.Variant, row.Policy, row.Loads, row.IORequests, row.BytesRead, row.Evictions)
+	}
+	sc := SchedScaling(QuickSchedScaling())
+	for _, p := range sc.Points {
+		fmt.Fprintf(w, "schedscale q=%d decisions=%d ios=%d evict=%d\n",
+			p.Queries, p.Decisions, p.IORequests, p.Evictions)
+	}
+}
 
 func TestCaptureDecisionBaseline(t *testing.T) {
 	if *captureFile == "" {
@@ -33,21 +70,37 @@ func TestCaptureDecisionBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	dump := func(tag string, results []workload.Result) {
-		for _, r := range results {
-			fmt.Fprintf(f, "%s %v loads=%d ios=%d bytes=%d evict=%d hits=%d\n",
-				tag, r.Policy, r.Loads, r.IORequests, r.BytesRead, r.Evictions, r.BufferHits)
+	writeDecisionBaseline(f)
+}
+
+// TestDecisionBaselineConformance asserts the simulator's scheduling
+// decisions are unchanged relative to the committed golden baseline: the
+// SchedulerPolicy extraction (and any future policy refactor) must not
+// alter a single load, eviction or buffer hit.
+func TestDecisionBaselineConformance(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "decision_baseline.txt")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden baseline: %v", err)
+	}
+	var got strings.Builder
+	writeDecisionBaseline(&got)
+	if got.String() == string(golden) {
+		return
+	}
+	gotLines := strings.Split(got.String(), "\n")
+	wantLines := strings.Split(string(golden), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("line %d:\n  got:  %s\n  want: %s", i+1, g, w)
 		}
 	}
-	dump("table2", Table2(QuickTable2()).Results)
-	dump("table3", Table3(QuickTable3()).Results)
-	for _, row := range Table4(QuickTable4()).Rows {
-		fmt.Fprintf(f, "table4 %s %v loads=%d ios=%d bytes=%d evict=%d\n",
-			row.Variant, row.Policy, row.Loads, row.IORequests, row.BytesRead, row.Evictions)
-	}
-	sc := SchedScaling(QuickSchedScaling())
-	for _, p := range sc.Points {
-		fmt.Fprintf(f, "schedscale q=%d decisions=%d ios=%d evict=%d\n",
-			p.Queries, p.Decisions, p.IORequests, p.Evictions)
-	}
+	t.Fatalf("scheduling decisions drifted from %s; if intentional, regenerate with -capture and commit", goldenPath)
 }

@@ -210,7 +210,7 @@ func defaultCols(layout storage.Layout, speed Speed) storage.ColSet {
 
 // rangeFor draws the random chunk range for a template ("reading X% of the
 // full relation from a random location").
-func rangeFor(layout storage.Layout, t Template, r *rng) storage.RangeSet {
+func rangeFor(layout storage.Layout, t Template, r *RNG) storage.RangeSet {
 	n := layout.NumChunks()
 	chunks := int(math.Round(float64(n) * t.Percent / 100))
 	if chunks < 1 {
@@ -221,7 +221,7 @@ func rangeFor(layout storage.Layout, t Template, r *rng) storage.RangeSet {
 	}
 	start := 0
 	if n > chunks {
-		start = r.intn(n - chunks + 1)
+		start = r.Intn(n - chunks + 1)
 	}
 	return storage.NewRangeSet(storage.Range{Start: start, End: start + chunks})
 }
@@ -294,12 +294,12 @@ func (s Spec) Run() Result {
 	remaining := s.Streams
 	for st := 0; st < s.Streams; st++ {
 		st := st
-		streamRNG := newRNG(s.Seed*1_000_003 + uint64(st))
+		streamRNG := NewRNG(s.Seed*1_000_003 + uint64(st))
 		delay := float64(st) * s.StreamDelay
 		sys.env.ProcessAt(fmt.Sprintf("stream-%d", st), delay, func(p *sim.Proc) {
 			start := p.Now()
 			for qi := 0; qi < s.QueriesPerStream; qi++ {
-				t := s.Mix.Templates[streamRNG.intn(len(s.Mix.Templates))]
+				t := s.Mix.Templates[streamRNG.Intn(len(s.Mix.Templates))]
 				ranges := rangeFor(s.Layout, t, streamRNG)
 				name := fmt.Sprintf("%s#s%dq%d", t.Name(), st, qi)
 				q := sys.abm.NewQuery(name, ranges, s.colsFor(t))

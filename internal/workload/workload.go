@@ -145,14 +145,16 @@ func Figure5Mixes() []Mix {
 	return out
 }
 
-// splitmix64 is the deterministic PRNG used for workload choices (stdlib
-// math/rand would also do, but an explicit generator keeps runs stable
-// across Go versions).
-type rng struct{ state uint64 }
+// RNG is the deterministic splitmix64 PRNG used for workload choices
+// (stdlib math/rand would also do, but an explicit generator keeps runs
+// stable across Go versions). Exported so the live engine's workload
+// planner draws from the same stream shape as the simulated streams.
+type RNG struct{ state uint64 }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9E3779B97F4A7C15} }
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed ^ 0x9E3779B97F4A7C15} }
 
-func (r *rng) next() uint64 {
+func (r *RNG) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
@@ -160,10 +162,10 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform value in [0, n).
-func (r *rng) intn(n int) int {
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("workload: intn with non-positive n")
+		panic("workload: Intn with non-positive n")
 	}
 	return int(r.next() % uint64(n))
 }

@@ -202,16 +202,16 @@ func TestTraceCapturedWhenEnabled(t *testing.T) {
 }
 
 func TestRNGDeterminismAndRange(t *testing.T) {
-	a, b := newRNG(7), newRNG(7)
+	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 100; i++ {
 		if a.next() != b.next() {
 			t.Fatal("rng not deterministic")
 		}
 	}
-	r := newRNG(3)
+	r := NewRNG(3)
 	seen := map[int]bool{}
 	for i := 0; i < 1000; i++ {
-		v := r.intn(7)
+		v := r.Intn(7)
 		if v < 0 || v >= 7 {
 			t.Fatalf("intn out of range: %d", v)
 		}
@@ -224,7 +224,7 @@ func TestRNGDeterminismAndRange(t *testing.T) {
 
 func TestRangeForBounds(t *testing.T) {
 	s := smallSpec(core.Normal)
-	r := newRNG(1)
+	r := NewRNG(1)
 	for i := 0; i < 200; i++ {
 		for _, pct := range []float64{1, 10, 50, 100} {
 			rs := rangeFor(s.Layout, Template{Speed: Fast, Percent: pct}, r)

@@ -1,0 +1,92 @@
+// BenchmarkLiveEngine benchmarks the live (wall-clock, goroutine-based)
+// cooperative scan engine end to end, one sub-benchmark per policy: each
+// iteration generates nothing — the table file is built once — and runs a
+// fixed 8-stream × 2-query workload of FAST (Q6) and SLOW (Q1) range scans
+// over the real chunked file, so ns/op is the workload's aggregate
+// wall-clock time. These are the repository's first non-simulated numbers:
+// the paper's Table 2 ordering (relevance < elevator << attach < normal)
+// should reproduce here in real time, and BENCH_PR2.json records it.
+package coopscan_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"coopscan/internal/core"
+	"coopscan/internal/engine"
+	"coopscan/internal/exec"
+)
+
+const (
+	liveBenchRows    = 786_432
+	liveBenchTPC     = 16_384 // 48 chunks × 896 KiB ≈ 42 MiB table
+	liveBenchStreams = 8
+	liveBenchQueries = 2
+	liveBenchSeed    = 1
+)
+
+func BenchmarkLiveEngine(b *testing.B) {
+	tf, err := engine.Create(filepath.Join(b.TempDir(), "live.tbl"), liveBenchRows, liveBenchTPC, liveBenchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tf.Close()
+	// The exact workload `coopscan live` runs (shared planner), so the
+	// recorded numbers match the CLI.
+	plan := engine.PlanWorkload(tf.NumChunks(), liveBenchStreams, liveBenchQueries, liveBenchSeed)
+	pred := exec.DefaultQ6()
+	for _, pol := range core.Policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var abmLoads, poolMisses int
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(tf, engine.Config{
+					Policy:      pol,
+					BufferBytes: 8 * tf.ChunkBytes(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				var scanErr error
+				var errMu sync.Mutex
+				for s := range plan {
+					s := s
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						// Staggered entry, as in the paper's streams.
+						time.Sleep(time.Duration(s) * 2 * time.Millisecond)
+						for _, q := range plan[s] {
+							onChunk := func(_ int, d engine.ChunkData) { engine.Q6Chunk(d, pred) }
+							if q.Slow {
+								onChunk = func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
+							}
+							if _, err := eng.Scan(q.Name, q.Ranges, onChunk); err != nil {
+								errMu.Lock()
+								if scanErr == nil {
+									scanErr = err
+								}
+								errMu.Unlock()
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				stats := eng.Stats()
+				abmLoads += stats.ABM.Loads
+				poolMisses += stats.Pool.Misses
+				eng.Close()
+				if scanErr != nil {
+					b.Fatal(scanErr)
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(abmLoads)/n, "abm-loads/op")
+			b.ReportMetric(float64(poolMisses)*float64(tf.StripeBytes())/n/(1<<20), "MiB-read/op")
+		})
+	}
+}
