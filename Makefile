@@ -1,13 +1,16 @@
 # Build, test and benchmark entry points. `make bench-json` writes the
 # benchmark record of the current PR to BENCH_PR<n>.json so the perf
 # trajectory is tracked in-repo from PR 1 onward; since PR 2 the record
-# includes BenchmarkLiveEngine — the first real (non-simulated) numbers.
+# includes BenchmarkLiveEngine — the first real (non-simulated) numbers —
+# and PR 3 adds BenchmarkMultiTableLive (shared-budget multi-table server,
+# recorded by `make bench-multi` into BENCH_PR3.json). See
+# docs/BENCHMARKS.md for the trajectory and repro commands.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: build test test-race vet fmt-check bench bench-live bench-json
+.PHONY: build test test-race vet fmt-check bench bench-live bench-multi bench-json
 
 build:
 	$(GO) build ./...
@@ -16,9 +19,10 @@ test: build
 	$(GO) test ./...
 
 # The live engine is the repo's first truly concurrent code; its tests (and
-# the bufferpool substrate it pins chunks through) must stay race-clean.
+# the bufferpool substrate it pins chunks through, and the core arbiter
+# state they drive) must stay race-clean.
 test-race:
-	$(GO) test -race ./internal/engine/... ./internal/bufferpool/...
+	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/...
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +39,12 @@ bench:
 # file on $$TMPDIR; see live_bench_test.go).
 bench-live:
 	$(GO) test -run '^$$' -bench BenchmarkLiveEngine -benchmem -benchtime $(BENCHTIME) .
+
+# Multi-table live server: every policy × in-flight depth {1,4} over two
+# real table files sharing one arbitrated buffer budget; the JSON record is
+# the PR 3 perf artifact (see multi_bench_test.go).
+bench-multi:
+	$(GO) test -run '^$$' -bench BenchmarkMultiTableLive -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR3.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

@@ -27,6 +27,8 @@ func runLive(args []string) {
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the file")
 	seed := fs.Uint64("seed", 1, "generator and workload seed")
 	bufferMB := fs.Int64("buffer-mb", 16, "buffer budget in MiB")
+	inflight := fs.Int("inflight", 4, "bounded in-flight load queue depth (1 = serial loads)")
+	readMBs := fs.Int64("read-mbps", 0, "per-load-stream device bandwidth model in MiB/s (0 = page-cache speed)")
 	streams := fs.Int("streams", 8, "concurrent query streams")
 	queries := fs.Int("queries", 2, "queries per stream")
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
@@ -52,7 +54,7 @@ func runLive(args []string) {
 		*streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
 
 	for _, pol := range policies {
-		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *streams, *queries, *seed, *stagger, *verbose)
+		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan live:", err)
 			os.Exit(1)
@@ -106,8 +108,8 @@ type liveResult struct {
 	verbose   bool
 }
 
-func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*liveResult, error) {
-	eng, err := engine.New(tf, engine.Config{Policy: pol, BufferBytes: bufferBytes})
+func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*liveResult, error) {
+	eng, err := engine.New(tf, engine.Config{Policy: pol, BufferBytes: bufferBytes, InFlightDepth: inflight, ReadBandwidth: readBW})
 	if err != nil {
 		return nil, err
 	}

@@ -9,10 +9,13 @@
 //	coopscan -list                 # enumerate experiments
 //
 // The live subcommand runs the wall-clock engine over a real table file
-// instead of the simulator:
+// instead of the simulator, and multi serves several tables from one
+// shared, arbitrated buffer budget:
 //
 //	coopscan live                  # 8 streams, all policies, tmp table file
 //	coopscan live -policy relevance -streams 16 -buffer-mb 32
+//	coopscan multi                 # 2 tables × 8 streams, shared budget
+//	coopscan multi -tables 3 -inflight 8 -buffer-mb 48
 package main
 
 import (
@@ -74,6 +77,10 @@ func catalogue() []experiment {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "live" {
 		runLive(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "multi" {
+		runMulti(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"coopscan/internal/core"
+	"coopscan/internal/engine"
+)
+
+// runMulti is the `coopscan multi` subcommand: N real table files served by
+// one engine.Server under a single shared buffer budget, M concurrent query
+// streams per table, reported per table and in aggregate. This is the
+// paper's §7 multi-table scenario executed for real: per-table ABMs, the
+// demand-driven budget arbiter, and a bounded in-flight load queue
+// overlapping reads across tables.
+func runMulti(args []string) {
+	fs := flag.NewFlagSet("multi", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory for the table files (default $TMPDIR, created on demand)")
+	tables := fs.Int("tables", 2, "number of tables")
+	rows := fs.Int64("rows", 1_500_000, "rows per table when creating the files")
+	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the files")
+	seed := fs.Uint64("seed", 1, "generator and workload seed")
+	bufferMB := fs.Int64("buffer-mb", 24, "shared buffer budget in MiB, arbitrated across tables")
+	inflight := fs.Int("inflight", 4, "bounded in-flight load queue depth (1 = serial loads)")
+	readMBs := fs.Int64("read-mbps", 0, "per-load-stream device bandwidth model in MiB/s (0 = page-cache speed)")
+	streams := fs.Int("streams", 8, "concurrent query streams per table")
+	queries := fs.Int("queries", 2, "queries per stream")
+	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
+	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
+	verbose := fs.Bool("v", false, "print per-query latencies")
+	fs.Parse(args)
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan multi:", err)
+		os.Exit(2)
+	}
+	if *tables < 1 {
+		fmt.Fprintln(os.Stderr, "coopscan multi: need at least one table")
+		os.Exit(2)
+	}
+	tfs := make([]*engine.TableFile, *tables)
+	for i := range tfs {
+		base := *dir
+		if base == "" {
+			base = os.TempDir()
+		}
+		path := filepath.Join(base, fmt.Sprintf("coopscan-multi-%d-%d-%d-t%d.tbl", *rows, *tpc, *seed, i))
+		tf, err := openOrCreate(path, *rows, *tpc, *seed+uint64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tfs[i] = tf
+	}
+	var footprint int64
+	for _, tf := range tfs {
+		footprint += int64(tf.NumChunks()) * tf.ChunkBytes()
+	}
+	fmt.Printf("tables: %d × %d rows (%d chunks × %s each, %s total)\n",
+		*tables, *rows, tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
+	fmt.Printf("workload: %d streams × %d queries per table, %s shared buffer, in-flight depth %d, stagger %v\n\n",
+		*streams, *queries, fmtBytes(*bufferMB<<20), *inflight, *stagger)
+
+	for _, pol := range policies {
+		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+	}
+}
+
+// multiResult is one policy's outcome across all tables.
+type multiResult struct {
+	policy    core.Policy
+	total     time.Duration
+	perTable  [][]liveOutcome
+	stats     engine.ServerStats
+	realBytes int64
+	verbose   bool
+}
+
+func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*multiResult, error) {
+	srv, err := engine.NewServer(engine.ServerConfig{
+		Policy:        pol,
+		BufferBytes:   bufferBytes,
+		InFlightDepth: inflight,
+		ReadBandwidth: readBW,
+	}, tfs...)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	res := &multiResult{policy: pol, verbose: verbose, perTable: make([][]liveOutcome, len(tfs))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	start := time.Now()
+	for table := range tfs {
+		table := table
+		// Each table runs the standard planned workload, seeded per table so
+		// streams over different tables are decorrelated.
+		plan := engine.PlanWorkload(tfs[table].NumChunks(), streams, queries, seed+uint64(table))
+		for s := range plan {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(time.Duration(s) * stagger)
+				for _, q := range plan[s] {
+					qStart := time.Now()
+					st, err := srv.Scan(table, q.Name, q.Ranges, liveOnChunk(q.Slow))
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					res.perTable[table] = append(res.perTable[table], liveOutcome{
+						name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
+					})
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	res.total = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.stats = srv.Stats()
+	// The files share one geometry (same -rows/-tuples-per-chunk flags).
+	res.realBytes = int64(res.stats.Pool.Misses) * tfs[0].StripeBytes()
+	for table := range res.perTable {
+		sort.Slice(res.perTable[table], func(i, j int) bool {
+			return res.perTable[table][i].name < res.perTable[table][j].name
+		})
+	}
+	return res, nil
+}
+
+func (r *multiResult) String() string {
+	var sum, max time.Duration
+	n := 0
+	for _, outs := range r.perTable {
+		for _, o := range outs {
+			sum += o.latency
+			if o.latency > max {
+				max = o.latency
+			}
+			n++
+		}
+	}
+	avg := time.Duration(0)
+	if n > 0 {
+		avg = sum / time.Duration(n)
+	}
+	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
+	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  read %8s (%.0f MiB/s)\n",
+		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond),
+		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw)
+	for table, outs := range r.perTable {
+		var tSum, tMax time.Duration
+		for _, o := range outs {
+			tSum += o.latency
+			if o.latency > tMax {
+				tMax = o.latency
+			}
+		}
+		tAvg := time.Duration(0)
+		if len(outs) > 0 {
+			tAvg = tSum / time.Duration(len(outs))
+		}
+		ts := r.stats.Tables[table]
+		out += fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  budget %s\n",
+			ts.Name, tAvg.Round(time.Millisecond), tMax.Round(time.Millisecond),
+			ts.ABM.Loads, ts.ABM.Evictions, fmtBytes(ts.ABM.BytesRead), fmtBytes(ts.BudgetBytes))
+		if r.verbose {
+			for _, o := range outs {
+				out += fmt.Sprintf("    %-10s %4d chunks  %8v\n", o.name, o.chunks, o.latency.Round(time.Millisecond))
+			}
+		}
+	}
+	return out
+}

@@ -77,7 +77,17 @@ type Pool struct {
 	tick   int64
 	hand   int // Clock hand
 	stats  Stats
+
+	// onEvict, when set, observes every frame eviction with the page's id
+	// and its data buffer. The buffer is exclusively the observer's after
+	// the call (the frame is gone), so callers use it to recycle page
+	// buffers instead of re-allocating per read.
+	onEvict func(id PageID, data []byte)
 }
+
+// SetEvictObserver installs the frame-eviction observer (see Pool.onEvict).
+// Pass nil to remove it.
+func (p *Pool) SetEvictObserver(fn func(id PageID, data []byte)) { p.onEvict = fn }
 
 // New creates a pool holding up to capacity pages, loading misses with read.
 func New(capacity int, policy Replacement, read Reader) *Pool {
@@ -216,6 +226,10 @@ func (p *Pool) remove(f *frame) {
 		}
 	}
 	p.stats.Evictions++
+	if p.onEvict != nil {
+		p.onEvict(f.id, f.data)
+		f.data = nil
+	}
 }
 
 // ChunkView is the §7.1 integration surface: ABM "requests a range of data

@@ -344,8 +344,24 @@ func (b *bufcache) touch(k partKey, now float64) {
 	}
 }
 
-// free returns the unreserved capacity in bytes.
+// free returns the unreserved capacity in bytes. It can be negative after a
+// resize below the current usage; every space check compares free() against
+// a needed byte count, so a deficit simply forces evictions (or blocks the
+// loader) until the pool has drained under the new budget.
 func (b *bufcache) free() int64 { return b.capBytes - b.usedBytes }
+
+// used returns the reserved bytes (resident plus loading parts).
+func (b *bufcache) used() int64 { return b.usedBytes }
+
+// resize changes the capacity without touching the buffered parts. Shrinking
+// below usedBytes is allowed: the pool converges to the new budget through
+// the ordinary eviction paths as pins are released.
+func (b *bufcache) resize(capBytes int64) {
+	if capBytes < b.pageBytes {
+		panic(fmt.Sprintf("core: resize to %d bytes, smaller than one page (%d)", capBytes, b.pageBytes))
+	}
+	b.capBytes = capBytes
+}
 
 // loadedParts returns the internal slice of loading/loaded parts in a
 // deterministic (insertion/compaction) order; callers must not modify it.

@@ -18,8 +18,64 @@ func (a *ABM) ColdBytes(c int, cols storage.ColSet) int64 {
 	return a.coldBytesFor(c, cols)
 }
 
-// FreeBytes returns the unreserved buffer capacity.
+// FreeBytes returns the unreserved buffer capacity. It is negative while the
+// ABM holds more than a freshly shrunk budget; loads must then evict (or
+// wait) until the pool drains under the new cap.
 func (a *ABM) FreeBytes() int64 { return a.cache.free() }
+
+// UsedBytes returns the reserved bytes: resident parts plus the space held
+// by in-flight BeginLoad reservations.
+func (a *ABM) UsedBytes() int64 { return a.cache.used() }
+
+// BufferBytes returns the current buffer budget.
+func (a *ABM) BufferBytes() int64 { return a.cache.capBytes }
+
+// SetBufferBytes re-targets the buffer budget at runtime — the §7.1 remark
+// that ABM "can easily adjust itself to a changed buffer size" when the
+// system-wide load shifts. Growth takes effect immediately; a shrink below
+// the current usage leaves FreeBytes negative and the pool converges through
+// the ordinary eviction paths. The multi-table budget arbiter
+// (Manager.Rebalance) is the intended caller.
+func (a *ABM) SetBufferBytes(n int64) {
+	a.cache.resize(n)
+	a.cfg.BufferBytes = n
+	a.broadcast()
+}
+
+// DrainExcess evicts least-recently-touched parts until the pool fits the
+// current budget again, and reports whether it got there. The live engine
+// calls it for a table that is over a freshly shrunk budget but has no
+// registered queries: such a table issues no loads, so the ordinary
+// EnsureSpace paths would never run and the usage clamp in
+// Manager.Rebalance would strand its bytes forever. With no queries there
+// is nothing for a policy to protect (no pins, no starvation, and the
+// fresh-load guard self-disables), so plain LRU eviction is safe.
+func (a *ABM) DrainExcess() bool {
+	return a.makeSpace(0, nil, lruScore)
+}
+
+// Demand summarises the table's current scheduling pressure: the number of
+// registered queries and how many of them are starved under the configured
+// threshold. The budget arbiter weighs tables by these counts.
+func (a *ABM) Demand() (active, starved int) {
+	active = len(a.queries)
+	for _, q := range a.queries {
+		if q.starved {
+			starved++
+		}
+	}
+	return active, starved
+}
+
+// SetChunkCost overrides the assumed cost (in clock seconds) of loading one
+// chunk, used to normalise waiting time in the relevance function. The live
+// engine sets it from the table's real chunk size; zero or negative values
+// are ignored.
+func (a *ABM) SetChunkCost(c float64) {
+	if c > 0 {
+		a.chunkCost = c
+	}
+}
 
 // SetEvictHook installs an observer invoked for every part eviction with
 // the part's (chunk, column) key; column is -1 for NSM parts. The live

@@ -19,10 +19,20 @@ import (
 // Small tables should not go through cooperative scanning at all (§7.1:
 // "for small tables CScan should simply fall back on Scan"); the manager
 // exposes that decision via UseCScan.
+//
+// A Manager exists in the same two modes as the ABM. Simulation mode
+// (NewManager) attaches simulator-backed ABMs sharing one modelled disk.
+// Live mode (NewLiveManager) attaches live ABMs (NewLive) under a shared
+// wall clock, and additionally acts as the *budget arbiter* of the live
+// multi-table engine: Rebalance re-divides one shared buffer budget across
+// the attached tables as their demand (active and starved stream counts)
+// shifts — the §7.1 observation that ABM "can easily adjust itself to a
+// changed buffer size".
 type Manager struct {
-	env *sim.Env
-	dsk *disk.Disk
-	cfg Config
+	env   *sim.Env // nil in live mode
+	dsk   *disk.Disk
+	clock Clock
+	cfg   Config
 
 	// SmallTableChunks is the threshold below which UseCScan recommends a
 	// plain Scan; such tables are expected to stay fully buffered.
@@ -32,31 +42,75 @@ type Manager struct {
 	order  []string
 }
 
-// NewManager creates an empty manager; tables are attached with Attach.
+// NewManager creates an empty simulation-mode manager; tables are attached
+// with Attach.
 func NewManager(env *sim.Env, d *disk.Disk, cfg Config) *Manager {
 	return &Manager{
-		env: env, dsk: d, cfg: cfg,
+		env: env, dsk: d, clock: env, cfg: cfg,
+		SmallTableChunks: 4,
+		tables:           make(map[string]*ABM),
+	}
+}
+
+// NewLiveManager creates an empty live-mode manager: attached tables get
+// live ABMs (NewLive) sharing the clock, and Rebalance arbitrates one
+// buffer budget across them. The caller (internal/engine's Server)
+// serialises all calls under its own mutex, exactly as it does for the
+// per-table ABMs.
+func NewLiveManager(clock Clock, cfg Config) *Manager {
+	return &Manager{
+		clock: clock, cfg: cfg,
 		SmallTableChunks: 4,
 		tables:           make(map[string]*ABM),
 	}
 }
 
 // Attach registers a table layout under its table name and creates its ABM
-// with a slice of the buffer budget proportional to the table's share of
-// the total footprint (recomputing shares would require re-registration;
-// production systems resize pools dynamically, which §7.1 notes ABM can do
-// when "the system-wide load changes").
+// (simulated or live, by manager mode) with bufferBytes as its starting
+// budget slice. In live mode the slice is only the initial grant — the
+// arbiter moves budget between tables afterwards; in simulation mode it is
+// fixed for the run (the paper's experiments size pools up front).
 func (m *Manager) Attach(layout storage.Layout, bufferBytes int64) *ABM {
-	name := layout.Table().Name
+	return m.AttachAs(layout.Table().Name, layout, bufferBytes)
+}
+
+// AttachAs is Attach under an explicit registration name, for callers whose
+// layouts do not carry unique table names (the live engine serves several
+// files generated from the same schema).
+func (m *Manager) AttachAs(name string, layout storage.Layout, bufferBytes int64) *ABM {
 	if _, ok := m.tables[name]; ok {
 		panic(fmt.Sprintf("core: table %q already attached", name))
 	}
 	cfg := m.cfg
 	cfg.BufferBytes = bufferBytes
-	a := New(m.env, m.dsk, layout, cfg)
+	var a *ABM
+	if m.env != nil {
+		a = New(m.env, m.dsk, layout, cfg)
+	} else {
+		a = NewLive(m.clock, layout, cfg)
+	}
 	m.tables[name] = a
 	m.order = append(m.order, name)
 	return a
+}
+
+// Detach removes a table from the manager and shuts its ABM down, so a
+// following Rebalance redistributes the freed budget to the remaining
+// tables. It reports whether the table was attached.
+func (m *Manager) Detach(name string) bool {
+	a, ok := m.tables[name]
+	if !ok {
+		return false
+	}
+	a.Shutdown()
+	delete(m.tables, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // For returns the ABM managing the named table.
@@ -99,6 +153,100 @@ func (m *Manager) Stats() SystemStats {
 	return total
 }
 
+// layoutBytes returns a layout's on-disk footprint.
+func layoutBytes(l storage.Layout) int64 {
+	if d, ok := l.(*storage.DSMLayout); ok {
+		return d.TotalBytes()
+	}
+	return int64(l.NumChunks()) * l.ChunkBytes(0, 0)
+}
+
+// chunkFloorBytes is the minimum budget a table's ABM needs to make
+// progress: two average chunks (one being consumed, one being loaded).
+func chunkFloorBytes(l storage.Layout) int64 {
+	n := int64(l.NumChunks())
+	if n == 0 {
+		return 0
+	}
+	return 2 * (layoutBytes(l) + n - 1) / n
+}
+
+// Rebalance is the live engine's budget arbiter: it re-divides the shared
+// budget of total bytes across the attached tables in proportion to their
+// current demand — each table weighs active + starved registered queries,
+// so a table whose streams are starving pulls budget away from one that is
+// idle or coasting on buffer hits. Every table keeps a floor of two chunks
+// (the minimum to overlap one load with one consumption), and the split of
+// the remainder falls back to even shares when nothing is registered.
+//
+// Grants are applied through SetBufferBytes with one safety rule: a table
+// is never granted less than it currently uses. Budget freed by a shrink
+// therefore materialises only as the table drains (its FreeBytes stays <= 0
+// until then, blocking new loads), and the overage is charged against the
+// growing tables' grants so the granted total never exceeds the budget by
+// more than integer-rounding crumbs. This keeps the engine's shared page
+// pool honest: the sum of per-table reservations stays within total at all
+// times, with no flag day where both the shrinker and the grower think
+// they own the same bytes.
+//
+// It returns the applied grants in attach order.
+func (m *Manager) Rebalance(total int64) []int64 {
+	n := len(m.order)
+	if n == 0 {
+		return nil
+	}
+	floors := make([]int64, n)
+	used := make([]int64, n)
+	weights := make([]float64, n)
+	var sumFloor int64
+	var sumW float64
+	for i, name := range m.order {
+		a := m.tables[name]
+		floors[i] = chunkFloorBytes(a.layout)
+		used[i] = a.UsedBytes()
+		active, starved := a.Demand()
+		weights[i] = float64(active + starved)
+		sumFloor += floors[i]
+		sumW += weights[i]
+	}
+	rem := total - sumFloor
+	if rem < 0 {
+		rem = 0 // under-provisioned: everyone sits at the floor
+	}
+	targets := make([]int64, n)
+	for i := range targets {
+		share := rem / int64(n)
+		if sumW > 0 {
+			share = int64(float64(rem) * weights[i] / sumW)
+		}
+		targets[i] = floors[i] + share
+	}
+	// Apply the no-shrink-below-usage rule, charging the overage against the
+	// tables with headroom (granted above both their usage and their floor).
+	grants := make([]int64, n)
+	var excess, headroom int64
+	for i := range grants {
+		grants[i] = targets[i]
+		if used[i] > grants[i] {
+			grants[i] = used[i]
+			excess += used[i] - targets[i]
+		} else {
+			headroom += grants[i] - maxI64(used[i], floors[i])
+		}
+	}
+	if excess > 0 && headroom > 0 {
+		for i := range grants {
+			if h := grants[i] - maxI64(used[i], floors[i]); h > 0 {
+				grants[i] -= excess * h / headroom
+			}
+		}
+	}
+	for i, name := range m.order {
+		m.tables[name].SetBufferBytes(grants[i])
+	}
+	return grants
+}
+
 // SplitBuffer divides a total buffer budget across layouts proportionally
 // to their on-disk footprint, with a floor of minBytes each; it is the
 // helper Attach callers typically use.
@@ -109,14 +257,8 @@ func SplitBuffer(total int64, minBytes int64, layouts ...storage.Layout) []int64
 	sizes := make([]int64, len(layouts))
 	var sum int64
 	for i, l := range layouts {
-		var bytes int64
-		if d, ok := l.(*storage.DSMLayout); ok {
-			bytes = d.TotalBytes()
-		} else {
-			bytes = int64(l.NumChunks()) * l.ChunkBytes(0, 0)
-		}
-		sizes[i] = bytes
-		sum += bytes
+		sizes[i] = layoutBytes(l)
+		sum += sizes[i]
 	}
 	out := make([]int64, len(layouts))
 	var assigned int64

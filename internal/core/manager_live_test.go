@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"coopscan/internal/storage"
+)
+
+// liveClock is a settable Clock for live-mode tests.
+type liveClock struct{ t float64 }
+
+func (c *liveClock) Now() float64 { return c.t }
+
+// liveManagerPair builds a live manager with two 16-chunk NSM tables
+// ("hot" and "cold", 1 MiB chunks) attached at the 2-chunk floor.
+func liveManagerPair(t *testing.T) (*Manager, *ABM, *ABM) {
+	t.Helper()
+	m := NewLiveManager(&liveClock{}, Config{Policy: Relevance})
+	hot := nsmTestLayout(16)
+	hot.Table().Name = "hot"
+	cold := nsmTestLayout(16)
+	cold.Table().Name = "cold"
+	return m, m.Attach(hot, 2<<20), m.Attach(cold, 2<<20)
+}
+
+// registerFullScan registers a query over the whole table; with nothing
+// resident it is immediately starved.
+func registerFullScan(a *ABM, name string) *Query {
+	q := a.NewQuery(name, storage.NewRangeSet(storage.Range{Start: 0, End: a.layout.NumChunks()}), 0)
+	a.Register(q)
+	return q
+}
+
+// A table whose streams are all starved must pull the shared budget away
+// from a table with no demand at all, which keeps only its two-chunk floor.
+func TestLiveManagerRebalanceStarvedVsIdle(t *testing.T) {
+	m, hot, cold := liveManagerPair(t)
+	for i := 0; i < 4; i++ {
+		registerFullScan(hot, "hq")
+	}
+	if a, s := hot.Demand(); a != 4 || s != 4 {
+		t.Fatalf("hot demand = (%d, %d), want (4, 4) — all queries starved", a, s)
+	}
+	if a, s := cold.Demand(); a != 0 || s != 0 {
+		t.Fatalf("cold demand = (%d, %d), want idle", a, s)
+	}
+
+	const total = 32 << 20
+	floor := chunkFloorBytes(cold.layout) // two chunks
+	grants := m.Rebalance(total)
+	if len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	if grants[1] != floor {
+		t.Errorf("idle table granted %d, want the floor %d", grants[1], floor)
+	}
+	if grants[0] != total-floor {
+		t.Errorf("starved table granted %d, want the rest of the budget %d", grants[0], total-floor)
+	}
+	if sum := grants[0] + grants[1]; sum > total {
+		t.Errorf("grants sum %d exceeds the budget %d", sum, total)
+	}
+	if hot.BufferBytes() != grants[0] || cold.BufferBytes() != grants[1] {
+		t.Errorf("grants not applied: budgets (%d, %d) vs grants %v",
+			hot.BufferBytes(), cold.BufferBytes(), grants)
+	}
+}
+
+// With no demand anywhere the budget splits evenly.
+func TestLiveManagerRebalanceIdleSplitsEvenly(t *testing.T) {
+	m, _, _ := liveManagerPair(t)
+	grants := m.Rebalance(32 << 20)
+	if grants[0] != grants[1] || grants[0] != 16<<20 {
+		t.Errorf("idle grants = %v, want an even split of 32 MiB", grants)
+	}
+}
+
+// A shrink never takes back bytes a table is still using: the grant clamps
+// at the current usage and the overage is charged to the growing table, so
+// the granted total stays within the budget.
+func TestLiveManagerRebalanceNeverShrinksBelowUsage(t *testing.T) {
+	m, hot, cold := liveManagerPair(t)
+	// Park 8 MiB of usage on the cold table (reservations the arbiter must
+	// respect even though the table has no demand).
+	cold.SetBufferBytes(8 << 20)
+	for c := 0; c < 8; c++ {
+		cold.BeginLoad(LoadDecision{Chunk: c})
+	}
+	if got := cold.UsedBytes(); got != 8<<20 {
+		t.Fatalf("cold usage = %d, want 8 MiB", got)
+	}
+	for i := 0; i < 4; i++ {
+		registerFullScan(hot, "hq")
+	}
+
+	const total = 32 << 20
+	grants := m.Rebalance(total)
+	if grants[1] != 8<<20 {
+		t.Errorf("cold granted %d, want its usage 8 MiB", grants[1])
+	}
+	if grants[0] > total-grants[1] {
+		t.Errorf("hot granted %d, overcommits the budget (cold holds %d of %d)",
+			grants[0], grants[1], total)
+	}
+	if sum := grants[0] + grants[1]; sum > total {
+		t.Errorf("grants sum %d exceeds the budget %d", sum, total)
+	}
+	// As the cold table drains, re-running the arbiter hands the freed
+	// bytes to the starved table.
+	for c := 0; c < 8; c++ {
+		cold.FinishLoad(LoadDecision{Chunk: c})
+	}
+	for _, pt := range cold.cache.loadedParts() {
+		cold.evictPart(pt.key)
+		break // drop one chunk: usage 7 MiB
+	}
+	grants = m.Rebalance(total)
+	if grants[1] != 7<<20 {
+		t.Errorf("cold granted %d after draining one chunk, want 7 MiB", grants[1])
+	}
+	if grants[0] != total-grants[1] {
+		t.Errorf("hot granted %d, want the freed remainder %d", grants[0], total-grants[1])
+	}
+}
+
+// A demand-less table over a shrunk budget must be drainable: with no
+// queries it never loads, so nothing else would run its eviction paths,
+// and the Rebalance usage clamp would strand the bytes forever (the live
+// engine calls DrainExcess from its scheduler for exactly this state).
+func TestLiveABMDrainExcess(t *testing.T) {
+	m, hot, cold := liveManagerPair(t)
+	cold.SetBufferBytes(8 << 20)
+	for c := 0; c < 8; c++ {
+		cold.BeginLoad(LoadDecision{Chunk: c})
+		cold.FinishLoad(LoadDecision{Chunk: c})
+	}
+	cold.SetBufferBytes(4 << 20)
+	if cold.FreeBytes() >= 0 {
+		t.Fatal("shrink below usage should leave FreeBytes negative")
+	}
+	if !cold.DrainExcess() {
+		t.Fatal("DrainExcess could not reach the shrunk budget")
+	}
+	if free := cold.FreeBytes(); free < 0 {
+		t.Errorf("FreeBytes = %d after drain, want >= 0", free)
+	}
+	if used := cold.UsedBytes(); used > 4<<20 {
+		t.Errorf("UsedBytes = %d after drain, want <= shrunk budget", used)
+	}
+	// The freed bytes are now grantable to the demanding table.
+	registerFullScan(hot, "hq")
+	grants := m.Rebalance(16 << 20)
+	if grants[0] <= grants[1] {
+		t.Errorf("grants after drain = %v, want the demanding table ahead", grants)
+	}
+}
+
+// Detaching a table frees its whole grant for the others on the next
+// rebalance — the "budget rebalance on table close" path.
+func TestLiveManagerRebalanceOnDetach(t *testing.T) {
+	m, hot, _ := liveManagerPair(t)
+	registerFullScan(hot, "hq")
+	const total = 32 << 20
+	if grants := m.Rebalance(total); len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	if !m.Detach("cold") {
+		t.Fatal("Detach(cold) = false")
+	}
+	if m.Detach("cold") {
+		t.Error("second Detach(cold) = true")
+	}
+	if _, ok := m.For("cold"); ok {
+		t.Error("detached table still resolves")
+	}
+	if got := m.Tables(); len(got) != 1 || got[0] != "hot" {
+		t.Errorf("Tables = %v, want [hot]", got)
+	}
+	grants := m.Rebalance(total)
+	if len(grants) != 1 || grants[0] != total {
+		t.Errorf("grants after detach = %v, want the whole budget %d", grants, total)
+	}
+	if hot.BufferBytes() != total {
+		t.Errorf("hot budget = %d, want %d", hot.BufferBytes(), total)
+	}
+}
+
+// An under-provisioned budget parks every table at its two-chunk floor
+// rather than granting zero to anyone.
+func TestLiveManagerRebalanceUnderProvisioned(t *testing.T) {
+	m, hot, _ := liveManagerPair(t)
+	registerFullScan(hot, "hq")
+	grants := m.Rebalance(3 << 20) // less than the ~4 MiB of floors
+	floor := chunkFloorBytes(hot.layout)
+	if grants[0] != floor || grants[1] != floor {
+		t.Errorf("grants = %v, want both at the %d floor", grants, floor)
+	}
+}

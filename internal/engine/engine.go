@@ -1,17 +1,12 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"sync"
-	"time"
-
 	"coopscan/internal/bufferpool"
 	"coopscan/internal/core"
 	"coopscan/internal/storage"
 )
 
-// Config parameterises a live engine instance.
+// Config parameterises a single-table live engine instance.
 type Config struct {
 	// Policy is the scheduling policy (all four of the paper's policies
 	// work: the engine drives the shared core.SchedulerPolicy decision
@@ -19,10 +14,17 @@ type Config struct {
 	Policy core.Policy
 	// BufferBytes is the buffer budget; it must hold at least two chunks.
 	BufferBytes int64
+	// InFlightDepth bounds how many chunk loads may be outstanding at
+	// once (default 4; 1 reproduces the original one-read-at-a-time
+	// scheduler).
+	InFlightDepth int
 	// StarveThreshold, ElevatorWindow and Prefetch forward to core.Config.
 	StarveThreshold int
 	ElevatorWindow  int
 	Prefetch        int
+	// ReadBandwidth forwards to ServerConfig.ReadBandwidth: an optional
+	// per-load-stream device bandwidth model (bytes/s, 0 = off).
+	ReadBandwidth int64
 }
 
 // SystemStats aggregates a run's counters across both accounting layers:
@@ -32,188 +34,30 @@ type SystemStats struct {
 	Pool bufferpool.Stats // page-level hits/misses/evictions (real I/O layer)
 }
 
-// wallClock is the live ABM clock: seconds since engine start.
-type wallClock struct{ start time.Time }
-
-func (w wallClock) Now() float64 { return time.Since(w.start).Seconds() }
-
-// Engine executes cooperative scans over a TableFile in wall-clock time.
-//
-// Concurrency model: one goroutine per Scan call (the query streams), plus
-// a single scheduler goroutine that owns every chunk-load and eviction
-// decision — the live counterpart of the paper's ABM process. All shared
-// state (the ABM bookkeeping, the policy state, the buffer pool and the
-// chunk views) is guarded by mu; the scheduler drops the lock only for the
-// real file reads, and queries drop it while processing delivered chunks,
-// so decision making, I/O and query CPU overlap.
-//
-// The buffer substrate is the §7.1 integration layering: chunk data lives
-// in a page-granularity bufferpool.Pool (one page per column stripe), and
-// the scheduler materialises a chunk by pinning its page range as a
-// bufferpool.ChunkView. The view stays pinned — the pool cannot touch the
-// pages — until the ABM decides to evict the chunk, at which point the
-// engine releases the view and the pages become ordinary replacement
-// candidates.
+// Engine executes cooperative scans over one TableFile in wall-clock time.
+// It is the single-table convenience wrapper around Server — the same
+// scheduler goroutine, bounded in-flight load queue and worker pool, with
+// the whole buffer budget granted to the one table.
 type Engine struct {
-	tf  *TableFile
-	cfg Config
-
-	mu   sync.Mutex
-	cond *sync.Cond
-	abm  *core.ABM
-	pol  core.SchedulerPolicy
-	pool *bufferpool.Pool
-	// views maps each ABM-resident chunk to its pinned page range.
-	views map[int]*bufferpool.ChunkView
-	// staging carries pre-read page contents from the unlocked file reads
-	// into the pool's reader; only the scheduler goroutine touches it.
-	staging map[bufferpool.PageID][]byte
-
-	closed bool
-	err    error
-	done   chan struct{}
+	srv *Server
 }
 
-// ErrClosed is returned by Scan when the engine shuts down mid-scan.
-var ErrClosed = errors.New("engine: closed")
-
-// New creates an engine over the table file and starts its scheduler
-// goroutine. Close must be called to stop it.
+// New creates an engine over the table file and starts its scheduler and
+// load workers. Close must be called to stop them.
 func New(tf *TableFile, cfg Config) (*Engine, error) {
-	chunkBytes := tf.ChunkBytes()
-	if cfg.BufferBytes < 2*chunkBytes {
-		return nil, fmt.Errorf("engine: buffer %d bytes < two chunks (%d)", cfg.BufferBytes, 2*chunkBytes)
-	}
-	e := &Engine{
-		tf:      tf,
-		cfg:     cfg,
-		views:   make(map[int]*bufferpool.ChunkView),
-		staging: make(map[bufferpool.PageID][]byte),
-		done:    make(chan struct{}),
-	}
-	e.cond = sync.NewCond(&e.mu)
-	e.abm = core.NewLive(wallClock{start: time.Now()}, tf.Layout(), core.Config{
+	srv, err := NewServer(ServerConfig{
 		Policy:          cfg.Policy,
 		BufferBytes:     cfg.BufferBytes,
+		InFlightDepth:   cfg.InFlightDepth,
 		StarveThreshold: cfg.StarveThreshold,
 		ElevatorWindow:  cfg.ElevatorWindow,
 		Prefetch:        cfg.Prefetch,
-		// Normalise relevance waiting time by a ~1 GB/s chunk load.
-		ChunkCost: float64(chunkBytes) / 1e9,
-	})
-	e.pol = e.abm.Policy()
-	e.abm.SetEvictHook(func(chunk, _ int) {
-		// The ABM evicted the (NSM) chunk part: release the chunk's pinned
-		// page range so the pool may reuse the frames. Runs under mu, from
-		// the scheduler goroutine's EnsureSpace.
-		if v := e.views[chunk]; v != nil {
-			v.Release()
-			delete(e.views, chunk)
-		}
-	})
-	frames := int(cfg.BufferBytes / tf.StripeBytes())
-	e.pool = bufferpool.New(frames, bufferpool.LRU, e.readPage)
-	go e.scheduler()
-	return e, nil
-}
-
-// readPage is the pool's miss handler. The scheduler pre-reads cold pages
-// outside the engine lock and parks them in staging; the rare fallback (a
-// page the Contains probe saw resident that the pool evicted within the
-// same PinRange) reads synchronously.
-func (e *Engine) readPage(id bufferpool.PageID) ([]byte, error) {
-	if b, ok := e.staging[id]; ok {
-		delete(e.staging, id)
-		return b, nil
-	}
-	buf := make([]byte, e.tf.StripeBytes())
-	if err := e.tf.ReadStripe(int64(id), buf); err != nil {
+		ReadBandwidth:   cfg.ReadBandwidth,
+	}, tf)
+	if err != nil {
 		return nil, err
 	}
-	return buf, nil
-}
-
-// scheduler is the live ABM: it repeatedly asks the policy for the next
-// load decision, makes room under the policy's eviction rules, performs
-// the real file reads, and publishes the chunk to the waiting queries.
-func (e *Engine) scheduler() {
-	defer close(e.done)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for !e.closed {
-		d, ok := e.pol.NextLoad()
-		if !ok {
-			e.cond.Wait()
-			continue
-		}
-		need := e.abm.ColdBytes(d.Chunk, d.Cols)
-		if need > 0 && e.abm.FreeBytes() < need && !e.pol.EnsureSpace(need, d.Query) {
-			// Everything is pinned or protected: wait for a release.
-			e.cond.Wait()
-			continue
-		}
-		e.pol.CommitLoad(d)
-		e.abm.BeginLoad(d)
-		first := bufferpool.PageID(d.Chunk * NumCols)
-		last := first + NumCols
-		var missing []bufferpool.PageID
-		for id := first; id < last; id++ {
-			if !e.pool.Contains(id) {
-				missing = append(missing, id)
-			}
-		}
-		// Real I/O without the lock: queries keep consuming and releasing
-		// chunks while the read is in flight. The chunk's parts are marked
-		// loading, so no decision can evict or re-issue them meanwhile.
-		e.mu.Unlock()
-		readErr := e.stage(missing)
-		e.mu.Lock()
-		if readErr != nil {
-			e.fail(readErr)
-			return
-		}
-		view, err := e.pool.PinRange(first, last)
-		if err != nil {
-			e.fail(fmt.Errorf("engine: pin chunk %d: %w", d.Chunk, err))
-			return
-		}
-		e.views[d.Chunk] = view
-		e.abm.FinishLoad(d)
-		e.cond.Broadcast()
-	}
-}
-
-// stage reads the listed pages from the table file into the staging map,
-// coalescing runs of consecutive pages (the common whole-chunk miss is one
-// contiguous on-disk region) into single reads. Called without the engine
-// lock; staging is scheduler-confined.
-func (e *Engine) stage(missing []bufferpool.PageID) error {
-	stripe := e.tf.StripeBytes()
-	for i := 0; i < len(missing); {
-		j := i + 1
-		for j < len(missing) && missing[j] == missing[j-1]+1 {
-			j++
-		}
-		run := missing[i:j]
-		buf := make([]byte, int64(len(run))*stripe)
-		if err := e.tf.ReadStripes(int64(run[0]), len(run), buf); err != nil {
-			return fmt.Errorf("engine: read pages %d-%d: %w", run[0], run[len(run)-1], err)
-		}
-		for k, id := range run {
-			e.staging[id] = buf[int64(k)*stripe : int64(k+1)*stripe : int64(k+1)*stripe]
-		}
-		i = j
-	}
-	return nil
-}
-
-// fail records a fatal scheduler error and wakes everyone.
-func (e *Engine) fail(err error) {
-	if e.err == nil {
-		e.err = err
-	}
-	e.closed = true
-	e.cond.Broadcast()
+	return &Engine{srv: srv}, nil
 }
 
 // Scan executes one cooperative scan over the given chunk ranges in the
@@ -222,79 +66,15 @@ func (e *Engine) fail(err error) {
 // until the scan has consumed its whole range and returns the query's
 // statistics (times are wall-clock seconds since engine start).
 func (e *Engine) Scan(name string, ranges storage.RangeSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
-	// Validate before touching shared state: core.NewQuery panics on these,
-	// and a panic while holding e.mu would wedge the whole engine.
-	if ranges.Empty() {
-		return core.Stats{}, fmt.Errorf("engine: scan %q over empty range set", name)
-	}
-	if ranges.Max() >= e.tf.NumChunks() {
-		return core.Stats{}, fmt.Errorf("engine: scan %q range %v beyond table (%d chunks)", name, ranges, e.tf.NumChunks())
-	}
-	e.mu.Lock()
-	q := e.abm.NewQuery(name, ranges, 0)
-	e.abm.Register(q)
-	e.cond.Broadcast()
-	for !q.Finished() {
-		if e.closed {
-			st := e.abm.Finish(q)
-			err := e.err
-			e.mu.Unlock()
-			if err == nil {
-				err = ErrClosed
-			}
-			return st, err
-		}
-		c := e.pol.PickAvailable(q)
-		if c < 0 {
-			// The blocked flag must be visible to the scheduler before it
-			// re-evaluates eviction (the relevance relaxation passes fire
-			// only when every registered query is blocked), so wake it.
-			q.SetBlocked(true)
-			e.cond.Broadcast()
-			e.cond.Wait()
-			q.SetBlocked(false)
-			continue
-		}
-		e.abm.Pin(q, c)
-		// The pin lifts the chunk's fresh-load eviction protection: wake a
-		// scheduler parked on a failed EnsureSpace so the next load overlaps
-		// with this chunk's processing.
-		e.cond.Broadcast()
-		data := ChunkData{stripes: e.views[c].Data, tuples: e.tf.Layout().ChunkTuples(c)}
-		e.mu.Unlock()
-		if onChunk != nil {
-			onChunk(c, data)
-		}
-		e.mu.Lock()
-		e.abm.Release(q, c)
-		e.cond.Broadcast()
-	}
-	st := e.abm.Finish(q)
-	e.cond.Broadcast()
-	e.mu.Unlock()
-	return st, nil
+	return e.srv.Scan(0, name, ranges, onChunk)
 }
 
 // Stats returns the engine's counters at both accounting layers.
 func (e *Engine) Stats() SystemStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return SystemStats{ABM: e.abm.Stats(), Pool: e.pool.Stats()}
+	st := e.srv.Stats()
+	return SystemStats{ABM: st.Tables[0].ABM, Pool: st.Pool}
 }
 
-// Close stops the scheduler and releases all chunk views. Outstanding
-// Scans are woken and return ErrClosed.
-func (e *Engine) Close() error {
-	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
-	<-e.done
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for c, v := range e.views {
-		v.Release()
-		delete(e.views, c)
-	}
-	return e.err
-}
+// Close stops the scheduler and workers and releases all chunk views.
+// Outstanding Scans are woken and return ErrClosed.
+func (e *Engine) Close() error { return e.srv.Close() }

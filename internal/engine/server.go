@@ -1,0 +1,594 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"coopscan/internal/bufferpool"
+	"coopscan/internal/core"
+	"coopscan/internal/storage"
+)
+
+// ErrClosed is returned by Scan when the engine shuts down mid-scan.
+var ErrClosed = errors.New("engine: closed")
+
+// pageStride namespaces buffer-pool PageIDs per table: table t's stripe s
+// has the global id t*pageStride + s. One pool serves every table — the
+// paper's premise that all scans compete for a single underlying buffer
+// manager — and the stride keeps per-table page spaces disjoint (no real
+// table comes near 2^40 stripes).
+const pageStride = int64(1) << 40
+
+// ServerConfig parameterises a multi-table live server.
+type ServerConfig struct {
+	// Policy is the scheduling policy every table's ABM runs (all four of
+	// the paper's policies work; they share the core.SchedulerPolicy
+	// decision core with the simulator).
+	Policy core.Policy
+	// BufferBytes is the *shared* buffer budget across all tables. The
+	// budget arbiter (core.Manager.Rebalance) re-divides it between the
+	// per-table ABMs as demand shifts; it must cover at least two chunks
+	// of every attached table.
+	BufferBytes int64
+	// InFlightDepth bounds the number of chunk loads the scheduler may
+	// have outstanding at once, across all tables. Depth 1 reproduces the
+	// original one-read-at-a-time loop; the default is 4, so the device
+	// sees overlapping requests even when a single stream cannot saturate
+	// it.
+	InFlightDepth int
+	// StarveThreshold, ElevatorWindow and Prefetch forward to core.Config.
+	StarveThreshold int
+	ElevatorWindow  int
+	Prefetch        int
+	// ReadBandwidth, when positive, models the device: each in-flight load
+	// stream is limited to this many bytes per second (the worker sleeps
+	// off the residual after the real read), so the aggregate device
+	// bandwidth scales with InFlightDepth up to depth × ReadBandwidth —
+	// the "one stream cannot saturate the device" regime of real RAIDs
+	// and SSDs. Zero disables the model: loads run at page-cache/disk
+	// speed, under which buffer-cached files make every policy look alike
+	// because re-reads cost nothing. Benchmarks set it to the simulator's
+	// ~200 MiB/s RAID figure so live numbers are comparable to the
+	// paper's.
+	ReadBandwidth int64
+}
+
+const defaultInFlightDepth = 4
+
+// TableStats is one table's share of a server's counters.
+type TableStats struct {
+	Name string
+	// ABM holds the table's chunk-level decision counters.
+	ABM core.SystemStats
+	// BudgetBytes is the table's current arbiter grant.
+	BudgetBytes int64
+}
+
+// ServerStats aggregates a run's counters: per-table ABM decisions plus the
+// shared page pool's real I/O.
+type ServerStats struct {
+	Tables []TableStats
+	Pool   bufferpool.Stats
+}
+
+// serverTable is one attached table: its file, its live ABM (own chunk map,
+// query registry and policy state, per the paper's §7.1 "separate
+// statistics and meta-data for each" table) and its pinned chunk views.
+type serverTable struct {
+	idx  int
+	tf   *TableFile
+	abm  *core.ABM
+	pol  core.SchedulerPolicy
+	name string
+	// views maps each ABM-resident chunk to its pinned page range in the
+	// shared pool.
+	views map[int]*bufferpool.ChunkView
+}
+
+// pageBase returns the global id of chunk c's first stripe.
+func (t *serverTable) pageBase(c int) bufferpool.PageID {
+	return bufferpool.PageID(int64(t.idx)*pageStride + int64(c*NumCols))
+}
+
+// loadJob is one issued load travelling from the scheduler to a worker: the
+// decision is already committed and its buffer space reserved (BeginLoad),
+// so the worker only performs the file reads and lands the completion.
+type loadJob struct {
+	t       *serverTable
+	d       core.LoadDecision
+	missing []bufferpool.PageID
+}
+
+// wallClock is the live ABM clock: seconds since server start.
+type wallClock struct{ start time.Time }
+
+func (w wallClock) Now() float64 { return time.Since(w.start).Seconds() }
+
+// Server executes cooperative scans over multiple table files in wall-clock
+// time, under one shared buffer budget — the multi-table runtime the
+// paper's §7.1 asks of "a production-quality implementation".
+//
+// Concurrency model: one goroutine per Scan call (the query streams), one
+// scheduler goroutine that owns every load and eviction *decision* across
+// all tables, and InFlightDepth worker goroutines that execute the issued
+// loads' file reads. The scheduler round-robins NextLoad over the per-table
+// ABMs and keeps up to InFlightDepth loads outstanding; each BeginLoad
+// reserves its buffer space up front, so the decision state stays coherent
+// while several reads are in flight, and completions commit (FinishLoad +
+// pin) in whatever order the reads land. A freshly landed chunk is
+// eviction-protected until first pinned, per load — the same rule the
+// single-load engine enforced, now held for every member of the in-flight
+// set.
+//
+// All shared state (the ABMs, the policy state, the shared page pool, the
+// chunk views and the budget arbiter) is guarded by mu; workers drop the
+// lock for the real file reads and queries drop it while processing
+// delivered chunks, so decision making, I/O depth and query CPU all
+// overlap.
+//
+// The budget arbiter (core.Manager.Rebalance) runs inside the scheduler
+// loop: whenever demand shifts, tables with starving streams are granted
+// budget taken from idle or coasting ones, with the constraint that a
+// table's grant never drops below its current usage — shrinks materialise
+// as the table drains. The shared pool is sized for the total budget, so
+// the arbiter's invariant (grants sum to the budget) is what keeps every
+// PinRange satisfiable.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	mgr    *core.Manager
+	tables []*serverTable
+	pool   *bufferpool.Pool
+	// staging carries pre-read page contents from the workers' unlocked
+	// file reads into the pool's reader; accessed only under mu.
+	staging map[bufferpool.PageID][]byte
+	// rr rotates the scheduler's table scan so no table monopolises the
+	// load queue.
+	rr int
+	// inFlight counts issued-but-uncommitted loads; bounded by
+	// cfg.InFlightDepth.
+	inFlight int
+	// demand is the last weight vector the arbiter ran with (per table,
+	// active+starved); rebalancing re-runs when it changes or while a
+	// clamped shrink is still draining.
+	demand []int
+
+	closed bool
+	err    error
+
+	loadCh    chan loadJob
+	schedDone chan struct{}
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	// stripeBufs recycles page buffers per stripe size: the pool's evict
+	// observer feeds frames back, workers draw read buffers out. At steady
+	// state (pool full, every load evicting) the read path allocates
+	// nothing, which matters on the multi-table bench where stripe churn
+	// is hundreds of MiB per run.
+	stripeBufs map[int64]*sync.Pool
+
+	// loadHook, when set (tests only), runs in a worker goroutine between
+	// the unlocked read and the locked completion of every load — the seam
+	// used to force loads to complete out of issue order.
+	loadHook func(table, chunk int)
+}
+
+// NewServer creates a server over the given table files and starts its
+// scheduler and load workers. Close must be called to stop them. The table
+// files are adopted in the given order (their index is the Scan table
+// argument) but remain owned by the caller.
+func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
+	if len(tfs) == 0 {
+		return nil, errors.New("engine: NewServer with no tables")
+	}
+	if cfg.InFlightDepth <= 0 {
+		cfg.InFlightDepth = defaultInFlightDepth
+	}
+	var floor int64
+	minStripe := tfs[0].StripeBytes()
+	for _, tf := range tfs {
+		floor += 2 * tf.ChunkBytes()
+		if s := tf.StripeBytes(); s < minStripe {
+			minStripe = s
+		}
+	}
+	if cfg.BufferBytes < floor {
+		return nil, fmt.Errorf("engine: buffer %d bytes < two chunks per table (%d)", cfg.BufferBytes, floor)
+	}
+	s := &Server{
+		cfg:       cfg,
+		staging:   make(map[bufferpool.PageID][]byte),
+		loadCh:    make(chan loadJob, cfg.InFlightDepth),
+		schedDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mgr = core.NewLiveManager(wallClock{start: time.Now()}, core.Config{
+		Policy:          cfg.Policy,
+		StarveThreshold: cfg.StarveThreshold,
+		ElevatorWindow:  cfg.ElevatorWindow,
+		Prefetch:        cfg.Prefetch,
+	})
+	for i, tf := range tfs {
+		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
+		t := &serverTable{idx: i, tf: tf, name: name, views: make(map[int]*bufferpool.ChunkView)}
+		// Every table starts at its two-chunk floor; the arbiter grants the
+		// rest of the budget by demand as soon as streams register.
+		t.abm = s.mgr.AttachAs(name, tf.Layout(), 2*tf.ChunkBytes())
+		// Normalise relevance waiting time by a ~1 GB/s chunk load.
+		t.abm.SetChunkCost(float64(tf.ChunkBytes()) / 1e9)
+		t.pol = t.abm.Policy()
+		t.abm.SetEvictHook(func(chunk, _ int) {
+			// The ABM evicted the (NSM) chunk part: release the chunk's
+			// pinned page range so the shared pool may reuse the frames.
+			// Runs under mu, from an EnsureSpace inside the scheduler.
+			if v := t.views[chunk]; v != nil {
+				v.Release()
+				delete(t.views, chunk)
+			}
+		})
+		s.tables = append(s.tables, t)
+	}
+	s.mgr.Rebalance(cfg.BufferBytes)
+	// The shared pool is sized for the whole budget (in frames of the
+	// smallest stripe), plus slack for the arbiter's integer-rounding
+	// crumbs and the in-flight loads' staging turnover.
+	frames := int(cfg.BufferBytes/minStripe) + cfg.InFlightDepth*NumCols + len(tfs)
+	s.pool = bufferpool.New(frames, bufferpool.LRU, s.readPage)
+	s.stripeBufs = make(map[int64]*sync.Pool)
+	for _, tf := range tfs {
+		size := tf.StripeBytes()
+		if _, ok := s.stripeBufs[size]; !ok {
+			s.stripeBufs[size] = &sync.Pool{New: func() any { return make([]byte, size) }}
+		}
+	}
+	s.pool.SetEvictObserver(func(_ bufferpool.PageID, data []byte) {
+		if p, ok := s.stripeBufs[int64(len(data))]; ok {
+			p.Put(data)
+		}
+	})
+	for i := 0; i < cfg.InFlightDepth; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	go s.scheduler()
+	return s, nil
+}
+
+// readPage is the shared pool's miss handler. Workers pre-read cold pages
+// outside the server lock and park them in staging; the synchronous
+// fallback below is reachable only when PinRange itself victimises a
+// not-yet-pinned resident page of the very chunk it is pinning (the
+// worker's pre-commit probe catches every earlier eviction), so it reads
+// at most a page or two, rarely.
+func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
+	if b, ok := s.staging[id]; ok {
+		delete(s.staging, id)
+		return b, nil
+	}
+	t := s.tables[int(int64(id)/pageStride)]
+	buf := s.stripeBufs[t.tf.StripeBytes()].Get().([]byte)
+	if err := t.tf.ReadStripe(int64(id)%pageStride, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// scheduler is the live ABM decision loop: it keeps the budget arbiter
+// current and up to InFlightDepth loads issued across the tables, then
+// parks until a completion, release or registration changes the world.
+func (s *Server) scheduler() {
+	defer close(s.schedDone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		s.maybeRebalance()
+		if s.inFlight < s.cfg.InFlightDepth && s.issueOne() {
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// maybeRebalance re-runs the budget arbiter when the per-table demand
+// vector (active+starved query counts) has shifted, or while some table
+// still uses more than the total would grant it (a clamped shrink that
+// must be re-applied as the table drains).
+func (s *Server) maybeRebalance() {
+	changed := false
+	if len(s.demand) != len(s.tables) {
+		s.demand = make([]int, len(s.tables))
+		changed = true
+	}
+	draining := false
+	for i, t := range s.tables {
+		active, starved := t.abm.Demand()
+		if w := active + starved; w != s.demand[i] {
+			s.demand[i] = w
+			changed = true
+		}
+		if t.abm.FreeBytes() < 0 {
+			// Over a shrunk grant. A table with queries drains through its
+			// own EnsureSpace calls; one without queries never loads, so
+			// evict its excess here or the usage clamp in Rebalance would
+			// strand the bytes against the demanding tables forever.
+			if active == 0 {
+				t.abm.DrainExcess()
+			}
+			draining = true
+		}
+	}
+	if changed || draining {
+		s.mgr.Rebalance(s.cfg.BufferBytes)
+	}
+}
+
+// issueOne asks the tables round-robin for their next load decision,
+// commits the first one whose buffer space can be ensured, and hands the
+// read to a worker. It reports whether a load was issued.
+func (s *Server) issueOne() bool {
+	n := len(s.tables)
+	for off := 0; off < n; off++ {
+		i := (s.rr + off) % n
+		t := s.tables[i]
+		d, ok := t.pol.NextLoad()
+		if !ok {
+			continue
+		}
+		need := t.abm.ColdBytes(d.Chunk, d.Cols)
+		if need > 0 && t.abm.FreeBytes() < need && !t.pol.EnsureSpace(need, d.Query) {
+			// Everything evictable in this table is pinned or protected:
+			// skip it until a release, but let other tables proceed.
+			continue
+		}
+		t.pol.CommitLoad(d)
+		t.abm.BeginLoad(d)
+		first := t.pageBase(d.Chunk)
+		var missing []bufferpool.PageID
+		for id := first; id < first+NumCols; id++ {
+			if !s.pool.Contains(id) {
+				missing = append(missing, id)
+			}
+		}
+		s.inFlight++
+		s.rr = (i + 1) % n
+		// Never blocks: inFlight < depth == cap(loadCh) and workers drain.
+		s.loadCh <- loadJob{t: t, d: d, missing: missing}
+		return true
+	}
+	return false
+}
+
+// worker executes issued loads: the real file reads happen without the
+// server lock, then the completion — staging the bytes into the pool,
+// pinning the chunk's page range and FinishLoad — commits under it.
+// Completions land in read-completion order, not issue order; the ABM's
+// part states (marked loading at issue) keep the two decoupled.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for job := range s.loadCh {
+		bufs, readErr := s.readMissing(job.t, job.missing)
+		if s.loadHook != nil {
+			s.loadHook(job.t.idx, job.d.Chunk)
+		}
+		s.mu.Lock()
+		s.inFlight--
+		if readErr != nil {
+			s.fail(readErr)
+			s.mu.Unlock()
+			continue
+		}
+		for id, b := range bufs {
+			s.staging[id] = b
+		}
+		first := job.t.pageBase(job.d.Chunk)
+		// Pages resident at issue time may have been pool-evicted while the
+		// read was in flight (they are unpinned, so prime LRU victims under
+		// load churn). Re-read any such page without the lock — and under
+		// the device model — before committing, so the locked PinRange
+		// below stays free of synchronous I/O.
+		for {
+			var gone []bufferpool.PageID
+			for id := first; id < first+NumCols; id++ {
+				if _, staged := s.staging[id]; !staged && !s.pool.Contains(id) {
+					gone = append(gone, id)
+				}
+			}
+			if len(gone) == 0 {
+				break
+			}
+			s.mu.Unlock()
+			more, err := s.readMissing(job.t, gone)
+			s.mu.Lock()
+			if err != nil {
+				readErr = err
+				break
+			}
+			for id, b := range more {
+				s.staging[id] = b
+			}
+		}
+		if readErr != nil {
+			s.fail(readErr)
+			s.mu.Unlock()
+			continue
+		}
+		view, err := s.pool.PinRange(first, first+NumCols)
+		if err != nil {
+			s.fail(fmt.Errorf("engine: pin %s chunk %d: %w", job.t.name, job.d.Chunk, err))
+			s.mu.Unlock()
+			continue
+		}
+		job.t.views[job.d.Chunk] = view
+		job.t.abm.FinishLoad(job.d)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// readMissing reads the listed pages from the table file into recycled
+// stripe buffers (one positioned read per stripe; consecutive stripes are
+// sequential on disk, so the kernel's readahead still sees one contiguous
+// region per chunk). Called without the server lock; multiple workers read
+// concurrently through ReadAt.
+func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[bufferpool.PageID][]byte, error) {
+	if len(missing) == 0 {
+		return nil, nil
+	}
+	bufs := s.stripeBufs[t.tf.StripeBytes()]
+	out := make(map[bufferpool.PageID][]byte, len(missing))
+	for _, id := range missing {
+		start := time.Now()
+		buf := bufs.Get().([]byte)
+		if err := t.tf.ReadStripe(int64(id)%pageStride, buf); err != nil {
+			return nil, fmt.Errorf("engine: read %s page %d: %w", t.name, id, err)
+		}
+		out[id] = buf
+		if bw := s.cfg.ReadBandwidth; bw > 0 {
+			// Device model: this load stream moves at bw bytes/s; sleep off
+			// whatever the page cache served faster than that.
+			if budget := time.Duration(float64(len(buf)) / float64(bw) * float64(time.Second)); budget > 0 {
+				if spent := time.Since(start); spent < budget {
+					time.Sleep(budget - spent)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// fail records a fatal error and wakes everyone. Callers hold mu.
+func (s *Server) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// NumTables returns the number of attached tables.
+func (s *Server) NumTables() int { return len(s.tables) }
+
+// Table returns the table file at index i.
+func (s *Server) Table(i int) *TableFile { return s.tables[i].tf }
+
+// Scan executes one cooperative scan over the given chunk ranges of table
+// `table` in the calling goroutine, invoking onChunk for every delivered
+// chunk in the policy's delivery order (out-of-order for elevator and
+// relevance). It blocks until the scan has consumed its whole range and
+// returns the query's statistics (times are wall-clock seconds since
+// server start).
+func (s *Server) Scan(table int, name string, ranges storage.RangeSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	if table < 0 || table >= len(s.tables) {
+		return core.Stats{}, fmt.Errorf("engine: scan %q over unknown table %d", name, table)
+	}
+	t := s.tables[table]
+	// Validate before touching shared state: core.NewQuery panics on these,
+	// and a panic while holding s.mu would wedge the whole server.
+	if ranges.Empty() {
+		return core.Stats{}, fmt.Errorf("engine: scan %q over empty range set", name)
+	}
+	if ranges.Max() >= t.tf.NumChunks() {
+		return core.Stats{}, fmt.Errorf("engine: scan %q range %v beyond table (%d chunks)", name, ranges, t.tf.NumChunks())
+	}
+	s.mu.Lock()
+	q := t.abm.NewQuery(name, ranges, 0)
+	t.abm.Register(q)
+	s.cond.Broadcast()
+	for !q.Finished() {
+		if s.closed {
+			st := t.abm.Finish(q)
+			err := s.err
+			s.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return st, err
+		}
+		c := t.pol.PickAvailable(q)
+		if c < 0 {
+			// The blocked flag must be visible to the scheduler before it
+			// re-evaluates eviction (the relevance relaxation passes fire
+			// only when every registered query is blocked), so wake it.
+			q.SetBlocked(true)
+			s.cond.Broadcast()
+			s.cond.Wait()
+			q.SetBlocked(false)
+			continue
+		}
+		t.abm.Pin(q, c)
+		// The pin lifts the chunk's fresh-load eviction protection: wake a
+		// scheduler parked on a failed EnsureSpace so the next load
+		// overlaps with this chunk's processing.
+		s.cond.Broadcast()
+		data := ChunkData{stripes: t.views[c].Data, tuples: t.tf.Layout().ChunkTuples(c)}
+		s.mu.Unlock()
+		if onChunk != nil {
+			onChunk(c, data)
+		}
+		s.mu.Lock()
+		t.abm.Release(q, c)
+		s.cond.Broadcast()
+	}
+	st := t.abm.Finish(q)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Stats returns the server's counters: one entry per table plus the shared
+// pool's totals.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ServerStats{Pool: s.pool.Stats()}
+	for _, t := range s.tables {
+		out.Tables = append(out.Tables, TableStats{
+			Name:        t.name,
+			ABM:         t.abm.Stats(),
+			BudgetBytes: t.abm.BufferBytes(),
+		})
+	}
+	return out
+}
+
+// Budgets returns the current arbiter grants in table order.
+func (s *Server) Budgets() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.tables))
+	for i, t := range s.tables {
+		out[i] = t.abm.BufferBytes()
+	}
+	return out
+}
+
+// Close stops the scheduler and workers and releases all chunk views.
+// Outstanding Scans are woken and return ErrClosed. In-flight loads are
+// drained (committed) first, so the ABM state machines close coherent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-s.schedDone
+		close(s.loadCh)
+		s.workerWG.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, t := range s.tables {
+			for c, v := range t.views {
+				v.Release()
+				delete(t.views, c)
+			}
+		}
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,7 +1,6 @@
 // Package engine is the live cooperative-scan runtime: it executes the
-// paper's Cooperative Scans over a real chunked table file on disk, with
-// one goroutine per query stream and a single ABM scheduler goroutine that
-// owns all chunk-load and eviction decisions, in wall-clock time.
+// paper's Cooperative Scans over real chunked table files on disk, in
+// wall-clock time.
 //
 // Where internal/core runs the policies inside a discrete-event simulator,
 // the engine drives the *same* Active Buffer Manager bookkeeping and the
@@ -12,6 +11,27 @@
 // ABM on an existing RDBMS buffer manager, and queries (TPC-H Q6/Q1-style
 // aggregations from internal/exec's kernels) compute true results from the
 // file's contents.
+//
+// # Design notes
+//
+// Server is the runtime: one goroutine per Scan call, one scheduler
+// goroutine owning every load and eviction decision across all attached
+// tables, and a bounded pool of load workers (ServerConfig.InFlightDepth)
+// executing the file reads, so completions commit out of issue order while
+// the ABM's part states keep the decision machine coherent. Each table has
+// its own live ABM (the paper's §7.1 "separate statistics and meta-data
+// for each" table); one shared buffer budget is moved between them by the
+// demand-driven arbiter in core.Manager.Rebalance. Engine is the
+// single-table convenience wrapper. An optional device-bandwidth model
+// (ServerConfig.ReadBandwidth) restores the paper's premise — device
+// bandwidth as the scarce resource — when the table files sit in the OS
+// page cache, where re-reads would otherwise be free.
+//
+// TableFile (this file) is the storage format: a 64-byte header followed
+// by NumChunks × NumCols fixed-size column stripes of deterministic
+// tpch-generated data; one stripe is one buffer-pool page, and a
+// storage.NSMLayout describes the geometry so the ABM schedules over a
+// real file exactly like a simulated table.
 package engine
 
 import (

@@ -4,6 +4,31 @@
 // physical extents have varying sizes and do not align with page boundaries
 // (the paper's Figure 9). It also provides scan-request range sets and
 // zonemap (min/max) metadata used to build multi-range scan plans.
+//
+// # Design notes
+//
+// Layout is the seam between scheduling and physical storage: everything
+// the ABM knows about a table — chunk count, per-chunk tuple counts, the
+// disk extent backing a (chunk, column) part — flows through this
+// interface, so the same scheduler drives the simulator's modelled tables
+// and the live engine's real files (engine.TableFile describes its on-disk
+// geometry with an NSMLayout). The two implementations embody the paper's
+// central storage asymmetry:
+//
+//   - NSMLayout: a chunk is a contiguous byte run; loading and evicting is
+//     chunk-at-a-time and the "part" column is the pseudo-column -1.
+//   - DSMLayout: a chunk is a logical row partition; each column
+//     contributes a physical extent whose size depends on its width and
+//     compression, extents share boundary pages with their neighbours, and
+//     the scheduler must reason per (chunk, column) part — the paper's §6
+//     logical-chunk/physical-page mismatch.
+//
+// ExtentOf is deliberately allocation-free (the scheduler calls it in its
+// hot loops), and ColSet packs column membership into a word so residency
+// and interest checks are bit tests. RangeSet is the scan-request currency:
+// queries are sets of chunk ranges (possibly pruned to several disjoint
+// runs by zonemaps), and the policies' cursors and availability lists all
+// speak chunk indexes against it.
 package storage
 
 import (

@@ -10,6 +10,20 @@
 // total time, CPU use, I/O requests — the columns of Tables 2 and 3), and
 // the cost models that make FAST I/O-bound and SLOW CPU-bound on the
 // simulated 2-core machine.
+//
+// # Design notes
+//
+// The package is deliberately split from both execution worlds: it decides
+// *what* to run (query classes, ranges, stream composition, seeds) and
+// *how to score it* (normalised latency divides each query's latency by
+// its range size, so short and long scans are comparable), while the
+// simulator's driver and the live engine's planner (engine.PlanWorkload)
+// decide how to execute. Determinism is load-bearing everywhere: streams
+// derive their RNG from (seed, stream index), so any experiment, CLI run
+// or benchmark that names the same spec re-executes byte-identical
+// workloads — which is what lets the decision-baseline golden pin
+// scheduler behaviour across refactors, and lets `coopscan live`/`multi`
+// report numbers for exactly the workload the recorded benchmarks ran.
 package workload
 
 import (
