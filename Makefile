@@ -2,15 +2,17 @@
 # benchmark record of the current PR to BENCH_PR<n>.json so the perf
 # trajectory is tracked in-repo from PR 1 onward; since PR 2 the record
 # includes BenchmarkLiveEngine — the first real (non-simulated) numbers —
-# and PR 3 adds BenchmarkMultiTableLive (shared-budget multi-table server,
-# recorded by `make bench-multi` into BENCH_PR3.json). See
-# docs/BENCHMARKS.md for the trajectory and repro commands.
+# PR 3 adds BenchmarkMultiTableLive (shared-budget multi-table server,
+# `make bench-multi` → BENCH_PR3.json), and PR 4 adds the scheduler
+# scaling sweeps (sim 64..512 queries + chunk sweep, live 64/256 streams,
+# `make bench-sched` → BENCH_PR4.json). See docs/BENCHMARKS.md for the
+# trajectory and repro commands.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: build test test-race vet fmt-check bench bench-live bench-multi bench-json
+.PHONY: build test test-race vet fmt-check bench bench-live bench-multi bench-sched bench-json
 
 build:
 	$(GO) build ./...
@@ -45,6 +47,14 @@ bench-live:
 # the PR 3 perf artifact (see multi_bench_test.go).
 bench-multi:
 	$(GO) test -run '^$$' -bench BenchmarkMultiTableLive -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR3.json
+
+# Scheduler decision-cost sweeps (the PR 4 perf artifact): the simulator's
+# BenchmarkSchedulerScaling at 64/256/512 queries plus chunk-count sweep,
+# and the live multi-table server at 64/256 streams with MeasureScheduling
+# on. The JSON record is BENCH_PR4.json; the sched-ns/decision metric must
+# stay flat (or logarithmic) as concurrency grows.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerScaling|BenchmarkLiveSchedulerScaling' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR4.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

@@ -88,19 +88,43 @@ func BenchmarkFig8(b *testing.B) {
 }
 
 // BenchmarkSchedulerScaling measures the relevance scheduler's decision
-// cost at high concurrency (the large-scale extension of Figure 8): the
-// ns/decision metric at the 64-query point is the acceptance gauge for the
-// incremental scheduler, and -benchmem's allocs/op tracks its allocation
-// behaviour.
+// cost at high concurrency and fine chunking (the large-scale extension of
+// Figure 8), one sub-benchmark per (queries, chunks) point. The points
+// table below IS the PR-4 acceptance configuration: the sched-ns/decision
+// metric at q256 is the acceptance gauge (≥3× lower than the pre-heap
+// linear paths, recorded in BENCH_PR4.json); q64 keeps the PR-1..3
+// records' unbatched stream shape and stays comparable to them.
+// -benchmem's allocs/op tracks the hot paths' allocation behaviour.
 func BenchmarkSchedulerScaling(b *testing.B) {
-	var r *experiments.SchedScalingResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.SchedScaling(experiments.QuickSchedScaling())
+	quick := experiments.QuickSchedScaling()
+	points := []struct {
+		name            string
+		queries, chunks int
+		batch           int
+	}{
+		{"q64", 64, quick.Chunks, 1},
+		{"q256", 256, quick.Chunks, 16},
+		{"q512", 512, quick.Chunks, 16},
+		{"q256-chunks1024", 256, 1024, 16},
+		{"q256-chunks2048", 256, 2048, 16},
 	}
-	last := r.Points[len(r.Points)-1]
-	b.ReportMetric(last.PerDecision, "sched-ns/decision")
-	b.ReportMetric(float64(last.Decisions), "decisions")
-	b.ReportMetric(float64(last.IORequests), "ios")
+	for _, pt := range points {
+		pt := pt
+		b.Run(pt.name, func(b *testing.B) {
+			opts := quick
+			opts.Queries = []int{pt.queries}
+			opts.Chunks = pt.chunks
+			opts.StreamBatch = pt.batch
+			var r *experiments.SchedScalingResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.SchedScaling(opts)
+			}
+			last := r.Points[len(r.Points)-1]
+			b.ReportMetric(last.PerDecision, "sched-ns/decision")
+			b.ReportMetric(float64(last.Decisions), "decisions")
+			b.ReportMetric(float64(last.IORequests), "ios")
+		})
+	}
 }
 
 // BenchmarkTable3 regenerates the DSM policy comparison (Table 3).

@@ -59,7 +59,7 @@ func catalogue() []experiment {
 		{"fig8", "relevance scheduling cost vs chunk count",
 			func() fmt.Stringer { return experiments.Fig8(experiments.DefaultFig8()) },
 			func() fmt.Stringer { return experiments.Fig8(experiments.QuickFig8()) }},
-		{"schedscale", "relevance scheduling cost vs concurrent queries (to 64)",
+		{"schedscale", "relevance scheduling cost vs queries (to 512) and chunk count",
 			func() fmt.Stringer { return experiments.SchedScaling(experiments.DefaultSchedScaling()) },
 			func() fmt.Stringer { return experiments.SchedScaling(experiments.QuickSchedScaling()) }},
 		{"table3", "DSM policy comparison (compressed lineitem)",

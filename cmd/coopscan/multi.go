@@ -33,6 +33,7 @@ func runMulti(args []string) {
 	queries := fs.Int("queries", 2, "queries per stream")
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
 	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
+	measureSched := fs.Bool("measure-sched", false, "meter scheduling decisions and report sched-ns/decision")
 	verbose := fs.Bool("v", false, "print per-query latencies")
 	fs.Parse(args)
 
@@ -70,7 +71,7 @@ func runMulti(args []string) {
 		*streams, *queries, fmtBytes(*bufferMB<<20), *inflight, *stagger)
 
 	for _, pol := range policies {
-		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *verbose)
+		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *measureSched, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 			os.Exit(1)
@@ -89,12 +90,13 @@ type multiResult struct {
 	verbose   bool
 }
 
-func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*multiResult, error) {
+func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, measureSched, verbose bool) (*multiResult, error) {
 	srv, err := engine.NewServer(engine.ServerConfig{
-		Policy:        pol,
-		BufferBytes:   bufferBytes,
-		InFlightDepth: inflight,
-		ReadBandwidth: readBW,
+		Policy:            pol,
+		BufferBytes:       bufferBytes,
+		InFlightDepth:     inflight,
+		ReadBandwidth:     readBW,
+		MeasureScheduling: measureSched,
 	}, tfs...)
 	if err != nil {
 		return nil, err
@@ -167,6 +169,15 @@ func (r *multiResult) String() string {
 	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  read %8s (%.0f MiB/s)\n",
 		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond),
 		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw)
+	var schedNanos, schedCalls int64
+	for _, ts := range r.stats.Tables {
+		schedNanos += ts.SchedNanos
+		schedCalls += ts.SchedCalls
+	}
+	if schedCalls > 0 {
+		out += fmt.Sprintf("  scheduling: %d decisions, %.0f ns/decision\n",
+			schedCalls, float64(schedNanos)/float64(schedCalls))
+	}
 	for table, outs := range r.perTable {
 		var tSum, tMax time.Duration
 		for _, o := range outs {

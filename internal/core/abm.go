@@ -39,22 +39,38 @@
 //     per-chunk ABM.starvedInterest/almostInterest counters (alongside the
 //     long-standing interestCount) with one walk over the query's remaining
 //     range. The NSM loadRelevance and keepRelevance then read a counter
-//     instead of scanning every registered query per candidate chunk. (The
-//     DSM branches still iterate registered queries for their column-overlap
-//     terms — flattening those is an open ROADMAP item.)
+//     instead of scanning every registered query per candidate chunk.
+//   - For DSM, registered queries are additionally grouped by their exact
+//     column set (groups.go), with the same interest counters kept per
+//     group. The Figure-11 column-overlap terms (starved-overlap counts and
+//     column unions in loadRelevance/keepRelevance, per-column usefulness,
+//     the elevator's per-chunk load set) iterate the handful of distinct
+//     column sets instead of every query.
 //   - bufcache.residentCols/loadingCols hold per-chunk residency bit sets,
 //     making "is chunk c resident / in flight for these columns?" a single
 //     bit test, and bufcache.occupied lists the chunks with buffered parts
 //     so registration seeds availability without a table scan.
+//   - Victim selection is heap-ordered. The LRU policies pop off
+//     bufcache.lruHeap, an indexed heap maintained at every load, touch,
+//     unpin and evict; the relevance policy builds a keepRelevance heap
+//     once per eviction round with its scores frozen at build time and pops
+//     victims in O(log poolParts), instead of rescanning the pool per freed
+//     part.
 //
 // The resulting per-decision cost is O(affected entries): selecting a load
-// candidate walks the starved queries and one query's remaining range with
-// O(1) scoring; selecting an available chunk walks that query's available
-// list. Eviction passes still scan the pool once per freed part (they need
-// a global minimum), but score each candidate in O(1) for NSM. Decision
-// *outcomes* are bit-identical to the rescanning implementation: eviction
-// passes snapshot the starvation state exactly where the old code
-// recomputed it, so mid-pass flips cannot change victim choice.
+// candidate pops a heap of the starved queries and walks one query's
+// remaining range with O(1) scoring; selecting an available chunk walks
+// that query's available list; each eviction *selects* its victim in
+// O(log poolParts). (Executing an eviction still pays the cache's
+// order-preserving removal from its loaded-parts slice and the
+// per-registered-query availability update — linear walks with trivial
+// constants, kept because the DSM useless-column pass depends on the
+// slice's load order; see bufcache.evict.) Decision *outcomes* are
+// bit-identical to the rescanning implementation:
+// the eviction heap freezes scores and guards exactly where the old code
+// snapshotted its starvation caches, so mid-pass flips cannot change
+// victim choice, and every heap order embeds the historical (chunk, col)
+// tie-breaks.
 package core
 
 import (
@@ -179,6 +195,17 @@ type ABM struct {
 	queries []*Query
 	nextID  int
 
+	// loadCands indexes the registered queries that are starved AND still
+	// have a non-resident needed chunk — the exact candidate set of the
+	// relevance loader's NextLoad. Membership is re-derived by
+	// updateStarveFlags at every event that can change it, so a failing
+	// decision round (nothing loadable anywhere) is an O(1) empty-slice
+	// check instead of a walk over every registered query. Order is
+	// arbitrary (swap-remove); NextLoad ranks candidates by
+	// (queryRelevance, registration seq), a total order independent of it.
+	loadCands []*Query
+	regSeq    int
+
 	// interestCount[c] is the number of registered queries that still need
 	// chunk c, maintained incrementally so relevance functions are O(1) in
 	// the common (NSM) case.
@@ -191,6 +218,14 @@ type ABM struct {
 	// instead of scanning every registered query per candidate chunk.
 	starvedInterest []int
 	almostInterest  []int
+
+	// groups indexes the registered queries of a DSM layout by their exact
+	// column set, with per-group per-chunk interest counters maintained at
+	// the same events as the global ones. The Figure-11 column-overlap
+	// terms then iterate the distinct column sets instead of every query
+	// (see groups.go). Nil for NSM layouts.
+	groups   []*colGroup
+	groupIdx map[storage.ColSet]*colGroup
 
 	// assembling marks parts a demand-driven scan is currently gathering
 	// into a complete chunk; eviction avoids them (the paper's §6.2
@@ -222,9 +257,18 @@ type ABM struct {
 	closed bool
 	strat  strategy
 
+	// evictAside is makeSpace's scratch for heap entries popped but not
+	// evicted (pinned, assembling, fresh or kept); they are pushed back when
+	// the pass ends.
+	evictAside []*part
+
 	stats SystemStats
 
-	// wall-clock scheduling cost (Figure 8).
+	// wall-clock scheduling cost (Figure 8). Windows are measured as
+	// monotonic deltas against timeBase (two cheap nanotime reads instead
+	// of two full wall-clock reads), so the measurement tax per decision
+	// stays small against the O(log n) decisions it meters.
+	timeBase   time.Time
 	schedNanos int64
 	schedCalls int64
 
@@ -291,6 +335,10 @@ func newABM(clock Clock, layout storage.Layout, cfg Config) *ABM {
 		assembling:      make(map[partKey]int),
 		fresh:           make(map[int]bool),
 		chunkCost:       cfg.ChunkCost,
+		timeBase:        time.Now(),
+	}
+	if layout.Columnar() {
+		a.groupIdx = make(map[storage.ColSet]*colGroup)
 	}
 	switch cfg.Policy {
 	case Normal:
@@ -354,10 +402,17 @@ func (a *ABM) Register(q *Query) {
 	}
 	q.enterTime = a.clock.Now()
 	q.lastService = q.enterTime
+	q.seq = a.regSeq
+	a.regSeq++
+	q.loadPos = -1
 	a.queries = append(a.queries, q)
+	q.group = a.joinGroup(q.Cols)
 	for c := 0; c < len(q.needed); c++ {
 		if q.needed[c] {
 			a.interestCount[c]++
+			if q.group != nil {
+				q.group.interested[c]++
+			}
 		}
 	}
 	// Seed the availability index from the chunks already buffered: only
@@ -391,9 +446,21 @@ func (a *ABM) unregister(q *Query) {
 			if q.almostStarved {
 				a.almostInterest[c]--
 			}
+			if g := q.group; g != nil {
+				g.interested[c]--
+				if q.starved {
+					g.starved[c]--
+				}
+				if q.almostStarved {
+					g.almost[c]--
+				}
+			}
 		}
 	}
 	q.starved, q.almostStarved = false, false
+	a.dropLoadCand(q)
+	a.leaveGroup(q.group)
+	q.group = nil
 	a.strat.Unregister(q)
 	a.broadcast()
 }
@@ -418,6 +485,15 @@ func (a *ABM) Release(q *Query, c int) {
 	}
 	if q.almostStarved {
 		a.almostInterest[c]--
+	}
+	if g := q.group; g != nil {
+		g.interested[c]--
+		if q.starved {
+			g.starved[c]--
+		}
+		if q.almostStarved {
+			g.almost[c]--
+		}
 	}
 	a.loseAvailability(q, c)
 	q.lastService = a.clock.Now()
@@ -447,6 +523,16 @@ func (a *ABM) Stats() SystemStats { return a.stats }
 // Config.MeasureScheduling is set.
 func (a *ABM) SchedulingCost() (time.Duration, int64) {
 	return time.Duration(a.schedNanos), a.schedCalls
+}
+
+// schedStart opens a decision measurement window: a monotonic reading
+// against the ABM's time base.
+func (a *ABM) schedStart() time.Duration { return time.Since(a.timeBase) }
+
+// schedEnd closes a window opened by schedStart and counts the decision.
+func (a *ABM) schedEnd(start time.Duration) {
+	a.schedNanos += int64(time.Since(a.timeBase) - start)
+	a.schedCalls++
 }
 
 // queryCols returns the parts-column set for q under this layout.
@@ -500,18 +586,54 @@ func (a *ABM) almostStarved(q *Query) bool { return q.almostStarved }
 
 // updateStarveFlags re-derives q's starvation flags from the maintained
 // availability count and folds any flip into the per-chunk starved/almost
-// interest counters with one walk over the query's remaining range.
+// interest counters (global and column-group) with one walk over the
+// query's remaining range.
 func (a *ABM) updateStarveFlags(q *Query) {
 	starved := q.available() < a.cfg.StarveThreshold
 	almost := q.available() < a.cfg.StarveThreshold+1
 	if starved != q.starved {
 		q.starved = starved
-		a.bumpNeededCounts(a.starvedInterest, q, flipDelta(starved))
+		var group []int
+		if q.group != nil {
+			group = q.group.starved
+		}
+		a.bumpNeededCounts(a.starvedInterest, group, q, flipDelta(starved))
 	}
 	if almost != q.almostStarved {
 		q.almostStarved = almost
-		a.bumpNeededCounts(a.almostInterest, q, flipDelta(almost))
+		var group []int
+		if q.group != nil {
+			group = q.group.almost
+		}
+		a.bumpNeededCounts(a.almostInterest, group, q, flipDelta(almost))
 	}
+	// Re-derive loadCands membership: starved with at least one needed
+	// chunk not fully resident. A starved query whose whole remainder is
+	// already buffered (the end-of-scan state most streams idle in at high
+	// concurrency) has nothing loadable, so the loader never needs to see
+	// it.
+	if member := starved && q.neededCount > len(q.availList); member != (q.loadPos >= 0) {
+		if member {
+			q.loadPos = len(a.loadCands)
+			a.loadCands = append(a.loadCands, q)
+		} else {
+			a.dropLoadCand(q)
+		}
+	}
+}
+
+// dropLoadCand removes q from the loadCands index (swap-remove).
+func (a *ABM) dropLoadCand(q *Query) {
+	i := q.loadPos
+	if i < 0 {
+		return
+	}
+	last := len(a.loadCands) - 1
+	moved := a.loadCands[last]
+	a.loadCands[i] = moved
+	moved.loadPos = i
+	a.loadCands = a.loadCands[:last]
+	q.loadPos = -1
 }
 
 func flipDelta(on bool) int {
@@ -521,13 +643,17 @@ func flipDelta(on bool) int {
 	return -1
 }
 
-// bumpNeededCounts adds delta to counts[c] for every chunk q still needs,
-// walking only the query's own range span.
-func (a *ABM) bumpNeededCounts(counts []int, q *Query, delta int) {
+// bumpNeededCounts adds delta to counts[c] (and groupCounts[c], when
+// non-nil) for every chunk q still needs, walking only the query's own
+// range span.
+func (a *ABM) bumpNeededCounts(counts, groupCounts []int, q *Query, delta int) {
 	lo, hi := q.Ranges.Min(), q.Ranges.Max()
 	for c := lo; c <= hi; c++ {
 		if q.needed[c] {
 			counts[c] += delta
+			if groupCounts != nil {
+				groupCounts[c] += delta
+			}
 		}
 	}
 }
@@ -597,18 +723,13 @@ func (a *ABM) evictPart(k partKey) {
 
 // interested counts registered queries that still need chunk c; with a
 // non-zero overlap set, only queries whose columns overlap it count (the
-// DSM notion of an interested overlapping query).
+// DSM notion of an interested overlapping query) — a group-counter read,
+// not a query scan.
 func (a *ABM) interested(c int, overlap storage.ColSet) int {
 	if overlap == 0 || !a.layout.Columnar() {
 		return a.interestCount[c]
 	}
-	n := 0
-	for _, q := range a.queries {
-		if q.needs(c) && q.Cols.Overlaps(overlap) {
-			n++
-		}
-	}
-	return n
+	return a.interestedOverlap(c, overlap)
 }
 
 // loadParts loads the absent parts of chunk c for cols, charging disk time
@@ -670,32 +791,45 @@ func (a *ABM) coldBytesFor(c int, cols storage.ColSet) int64 {
 // evictable reports whether a part may be evicted right now.
 func evictable(p *part) bool { return p.state == partLoaded && p.pins == 0 }
 
-// makeSpace evicts parts until free() >= need, choosing among evictable
-// parts that pass keep==false, ordered by the worst score first (lower
-// score = better victim). Parts under assembly are never victims. It
-// returns false if it cannot reach the target.
-func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) float64) bool {
+// blockedFromEviction reports the policy-independent victim exclusions:
+// pinned or still-loading parts, parts under demand-scan assembly, and
+// live-engine loads no query has pinned yet. The assembly map is consulted
+// only while some scan is assembling (it is empty under the central-loader
+// policies), so the common path is pure field reads.
+func (a *ABM) blockedFromEviction(p *part) bool {
+	return !evictable(p) || (len(a.assembling) > 0 && a.assembling[p.key] > 0) ||
+		a.freshUnpinned(p.key.chunk)
+}
+
+// makeSpace evicts parts in LRU order until free() >= need, skipping parts
+// that fail the optional keep predicate. Victims come off the cache's
+// incrementally maintained recency heap in O(log n) per eviction — the old
+// implementation rescanned every loaded part per victim. Skipped parts
+// (pinned, assembling, fresh, kept) are set aside and pushed back when the
+// pass ends; every predicate is stable for the duration of a pass, so the
+// pop order visits exactly the candidates the linear scan minimised over,
+// in the same (lastTouch, chunk, col) order. It returns false if it cannot
+// reach the target.
+func (a *ABM) makeSpace(need int64, keep func(*part) bool) bool {
+	aside := a.evictAside[:0]
+	ok := true
 	for a.cache.free() < need {
-		var victim *part
-		var best float64
-		for _, p := range a.cache.loadedParts() {
-			if !evictable(p) || a.assembling[p.key] > 0 || a.freshUnpinned(p.key.chunk) ||
-				(keep != nil && keep(p)) {
-				continue
-			}
-			s := score(p)
-			if victim == nil || s < best ||
-				(s == best && (p.key.chunk < victim.key.chunk ||
-					(p.key.chunk == victim.key.chunk && p.key.col < victim.key.col))) {
-				victim, best = p, s
-			}
+		p := a.cache.lruPop()
+		if p == nil {
+			ok = false
+			break
 		}
-		if victim == nil {
-			return false
+		if a.blockedFromEviction(p) || (keep != nil && keep(p)) {
+			aside = append(aside, p)
+			continue
 		}
-		a.evictPart(victim.key)
+		a.evictPart(p.key)
 	}
-	return true
+	for _, p := range aside {
+		a.cache.lruPush(p)
+	}
+	a.evictAside = aside[:0]
+	return ok
 }
 
 // freshUnpinned reports whether the chunk is a live-engine load no query
@@ -705,9 +839,6 @@ func (a *ABM) makeSpace(need int64, keep func(*part) bool, score func(*part) flo
 func (a *ABM) freshUnpinned(c int) bool {
 	return len(a.fresh) > 0 && a.fresh[c] && a.interestCount[c] > 0
 }
-
-// lruScore orders victims by least-recent touch.
-func lruScore(p *part) float64 { return p.lastTouch }
 
 func sortPartsBySize(b *bufcache, keys []partKey) {
 	// Insertion sort: key counts are tiny (≤ number of columns).

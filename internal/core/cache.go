@@ -35,6 +35,7 @@ type part struct {
 	pins      int     // hard pins while a query processes the chunk
 	loadedAt  float64 // virtual time the load completed
 	lastTouch float64 // last load or consumption, for LRU
+	lruIdx    int     // slot in the cache's LRU victim heap, or -1
 }
 
 // colBit maps a part column to its bit in the per-chunk residency sets. The
@@ -73,6 +74,14 @@ type bufcache struct {
 	partCount    []int            // non-absent parts per chunk
 	occupied     []int            // chunks with >= 1 non-absent part
 	occupiedPos  []int            // chunk -> index in occupied, or -1
+
+	// lruHeap indexes every partLoaded part by (lastTouch, chunk, col), the
+	// LRU eviction order with the scheduler's deterministic tie-break. It is
+	// maintained at the events that change a part's recency — finishLoad,
+	// touch, unpin, evict — so selecting an LRU victim is a pop instead of a
+	// pool scan. part.lruIdx is the part's heap slot (-1 while absent,
+	// loading, or temporarily popped during an eviction pass).
+	lruHeap []*part
 }
 
 func newBufcache(layout storage.Layout, capBytes int64) *bufcache {
@@ -235,7 +244,7 @@ func (b *bufcache) beginLoad(k partKey, now float64) *part {
 	if b.state(k) != partAbsent {
 		panic(fmt.Sprintf("core: beginLoad(%v) in state %d", k, b.state(k)))
 	}
-	p := &part{key: k, state: partLoading, lastTouch: now}
+	p := &part{key: k, state: partLoading, lastTouch: now, lruIdx: -1}
 	b.parts[k] = p
 	b.loaded = append(b.loaded, p)
 	b.loadingCols[k.chunk] |= colBit(k.col)
@@ -262,6 +271,7 @@ func (b *bufcache) finishLoad(k partKey, now float64) {
 	p.lastTouch = now
 	b.loadingCols[k.chunk] &^= colBit(k.col)
 	b.residentCols[k.chunk] |= colBit(k.col)
+	b.lruPush(p)
 }
 
 // evict removes a loaded, unpinned part and returns the bytes freed.
@@ -271,6 +281,11 @@ func (b *bufcache) evict(k partKey) int64 {
 		panic(fmt.Sprintf("core: evict(%v): not evictable", k))
 	}
 	delete(b.parts, k)
+	b.lruRemove(p)
+	// Order-preserving compaction, deliberately not a swap-remove: the
+	// relevance policy's DSM useless-column eviction pass consumes this
+	// slice in load order, so reordering it would change which useless
+	// parts go first (and break decision bit-identity).
 	for i, lp := range b.loaded {
 		if lp == p {
 			b.loaded = append(b.loaded[:i], b.loaded[i+1:]...)
@@ -308,6 +323,7 @@ func (b *bufcache) unpin(k partKey, now float64) {
 	}
 	p.pins--
 	p.lastTouch = now
+	b.lruFix(p)
 }
 
 // pinAll pins and touches every part of chunk c a query with cols reads;
@@ -341,6 +357,108 @@ func (b *bufcache) unpinAll(cols storage.ColSet, c int, now float64) {
 func (b *bufcache) touch(k partKey, now float64) {
 	if p := b.parts[k]; p != nil {
 		p.lastTouch = now
+		b.lruFix(p)
+	}
+}
+
+// ---- LRU victim heap --------------------------------------------------------
+
+// lruBefore is the LRU eviction order: least-recently-touched first, with
+// the scheduler's historical (chunk, col) tie-break for equal touch times
+// (virtual-time events commonly coincide in the simulator).
+func lruBefore(x, y *part) bool {
+	if x.lastTouch != y.lastTouch {
+		return x.lastTouch < y.lastTouch
+	}
+	if x.key.chunk != y.key.chunk {
+		return x.key.chunk < y.key.chunk
+	}
+	return x.key.col < y.key.col
+}
+
+// lruPush inserts a loaded part into the victim heap.
+func (b *bufcache) lruPush(p *part) {
+	if p.lruIdx >= 0 {
+		return
+	}
+	p.lruIdx = len(b.lruHeap)
+	b.lruHeap = append(b.lruHeap, p)
+	b.lruUp(p.lruIdx)
+}
+
+// lruRemove deletes a part from the victim heap (no-op if absent, e.g. a
+// part popped by an in-progress eviction pass or still loading).
+func (b *bufcache) lruRemove(p *part) {
+	i := p.lruIdx
+	if i < 0 {
+		return
+	}
+	last := len(b.lruHeap) - 1
+	moved := b.lruHeap[last]
+	b.lruHeap[i] = moved
+	moved.lruIdx = i
+	b.lruHeap = b.lruHeap[:last]
+	p.lruIdx = -1
+	if i < last {
+		b.lruFix(moved)
+	}
+}
+
+// lruPop removes and returns the least-recently-touched loaded part, or nil
+// when the heap is empty.
+func (b *bufcache) lruPop() *part {
+	if len(b.lruHeap) == 0 {
+		return nil
+	}
+	p := b.lruHeap[0]
+	b.lruRemove(p)
+	return p
+}
+
+// lruFix restores the heap invariant around a part whose recency changed.
+func (b *bufcache) lruFix(p *part) {
+	if p.lruIdx < 0 {
+		return
+	}
+	if !b.lruDown(p.lruIdx) {
+		b.lruUp(p.lruIdx)
+	}
+}
+
+func (b *bufcache) lruUp(i int) {
+	h := b.lruHeap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lruBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].lruIdx, h[parent].lruIdx = i, parent
+		i = parent
+	}
+}
+
+// lruDown sifts slot i towards the leaves; it reports whether it moved.
+func (b *bufcache) lruDown(i int) bool {
+	h := b.lruHeap
+	n := len(h)
+	moved := false
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return moved
+		}
+		best := left
+		if right := left + 1; right < n && lruBefore(h[right], h[left]) {
+			best = right
+		}
+		if !lruBefore(h[best], h[i]) {
+			return moved
+		}
+		h[i], h[best] = h[best], h[i]
+		h[i].lruIdx, h[best].lruIdx = i, best
+		i = best
+		moved = true
 	}
 }
 

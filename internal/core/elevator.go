@@ -116,22 +116,21 @@ func (s *elevStrategy) PickAvailable(q *Query) int {
 }
 
 // nextToLoad finds the next chunk in cursor order that some query needs and
-// that requires I/O, together with the union of needed columns.
+// that requires I/O, together with the union of needed columns. Interest is
+// one counter read per chunk and the column union comes off the column-group
+// index, so the sweep no longer scans the query registry per chunk.
 func (s *elevStrategy) nextToLoad() (int, storage.ColSet, bool) {
 	a := s.a
 	n := a.layout.NumChunks()
+	columnar := a.layout.Columnar()
 	for off := 0; off < n; off++ {
 		c := (s.cursor + off) % n
-		var cols storage.ColSet
-		interested := false
-		for _, q := range a.queries {
-			if q.needs(c) {
-				interested = true
-				cols = cols.Union(q.Cols)
-			}
-		}
-		if !interested {
+		if a.interestCount[c] == 0 {
 			continue
+		}
+		var cols storage.ColSet
+		if columnar {
+			cols = a.neededColsUnion(c)
 		}
 		if a.cache.absentBits(a.colsOrNSM(cols), c) != 0 {
 			return c, cols, true
@@ -191,7 +190,7 @@ func (s *elevStrategy) CommitLoad(d LoadDecision) {
 // not yet consumed by every recorded query) chunks.
 func (s *elevStrategy) EnsureSpace(need int64, _ *Query) bool {
 	keep := func(pt *part) bool { return s.outstandingChunk(pt.key.chunk) }
-	return s.a.makeSpace(need, keep, lruScore)
+	return s.a.makeSpace(need, keep)
 }
 
 func (s *elevStrategy) loader(p *sim.Proc) {

@@ -122,6 +122,126 @@ func auditIncrementalState(t *testing.T, a *ABM, when string) {
 			t.Fatalf("%s: almostInterest[%d] = %d, recomputed %d", when, c, a.almostInterest[c], almostInt[c])
 		}
 	}
+
+	auditColGroups(t, a, when)
+	auditLRUHeap(t, a, when)
+	auditLoadCands(t, a, when)
+}
+
+// auditColGroups recomputes the DSM column-group index (per-colset member
+// counts and per-chunk interested/starved/almost counters) from the query
+// registry and fails on any divergence.
+func auditColGroups(t *testing.T, a *ABM, when string) {
+	t.Helper()
+	if !a.layout.Columnar() {
+		if len(a.groups) != 0 || a.groupIdx != nil {
+			t.Fatalf("%s: NSM layout carries column groups", when)
+		}
+		return
+	}
+	n := a.layout.NumChunks()
+	type ref struct {
+		members                     int
+		interested, starved, almost []int
+	}
+	want := map[storage.ColSet]*ref{}
+	for _, q := range a.queries {
+		r := want[q.Cols]
+		if r == nil {
+			r = &ref{interested: make([]int, n), starved: make([]int, n), almost: make([]int, n)}
+			want[q.Cols] = r
+		}
+		r.members++
+		for c := 0; c < n; c++ {
+			if q.needs(c) {
+				r.interested[c]++
+				if q.starved {
+					r.starved[c]++
+				}
+				if q.almostStarved {
+					r.almost[c]++
+				}
+			}
+		}
+		if q.group == nil || q.group.cols != q.Cols {
+			t.Fatalf("%s: query %s not linked to its column group", when, q.Name)
+		}
+	}
+	if len(a.groups) != len(want) || len(a.groupIdx) != len(want) {
+		t.Fatalf("%s: %d groups (%d indexed), recomputed %d", when, len(a.groups), len(a.groupIdx), len(want))
+	}
+	for _, g := range a.groups {
+		r := want[g.cols]
+		if r == nil {
+			t.Fatalf("%s: group %v has no registered members", when, g.cols)
+		}
+		if a.groupIdx[g.cols] != g {
+			t.Fatalf("%s: group %v not indexed", when, g.cols)
+		}
+		if g.members != r.members {
+			t.Fatalf("%s: group %v members = %d, recomputed %d", when, g.cols, g.members, r.members)
+		}
+		for c := 0; c < n; c++ {
+			if g.interested[c] != r.interested[c] || g.starved[c] != r.starved[c] || g.almost[c] != r.almost[c] {
+				t.Fatalf("%s: group %v chunk %d counters = (%d,%d,%d), recomputed (%d,%d,%d)",
+					when, g.cols, c, g.interested[c], g.starved[c], g.almost[c],
+					r.interested[c], r.starved[c], r.almost[c])
+			}
+		}
+	}
+}
+
+// auditLRUHeap checks the cache's LRU victim heap: exactly the loaded
+// parts, each at its recorded slot, with the heap order intact (every
+// parent at or before its children in (lastTouch, chunk, col) order).
+func auditLRUHeap(t *testing.T, a *ABM, when string) {
+	t.Helper()
+	b := a.cache
+	loaded := 0
+	for _, p := range b.loaded {
+		switch p.state {
+		case partLoaded:
+			loaded++
+			if p.lruIdx < 0 || p.lruIdx >= len(b.lruHeap) || b.lruHeap[p.lruIdx] != p {
+				t.Fatalf("%s: loaded part %v not at its heap slot %d", when, p.key, p.lruIdx)
+			}
+		case partLoading:
+			if p.lruIdx != -1 {
+				t.Fatalf("%s: loading part %v sits in the LRU heap", when, p.key)
+			}
+		}
+	}
+	if len(b.lruHeap) != loaded {
+		t.Fatalf("%s: LRU heap has %d entries, %d loaded parts", when, len(b.lruHeap), loaded)
+	}
+	for i := 1; i < len(b.lruHeap); i++ {
+		parent := (i - 1) / 2
+		if lruBefore(b.lruHeap[i], b.lruHeap[parent]) {
+			t.Fatalf("%s: LRU heap order violated at slot %d (%v before parent %v)",
+				when, i, b.lruHeap[i].key, b.lruHeap[parent].key)
+		}
+	}
+}
+
+// auditLoadCands checks the relevance loader's candidate index: exactly the
+// starved queries that still have a non-resident needed chunk.
+func auditLoadCands(t *testing.T, a *ABM, when string) {
+	t.Helper()
+	for _, q := range a.queries {
+		member := q.starved && q.remaining() > q.available()
+		if member != (q.loadPos >= 0) {
+			t.Fatalf("%s: %s loadCands membership = %v, want %v (starved=%v remaining=%d avail=%d)",
+				when, q.Name, q.loadPos >= 0, member, q.starved, q.remaining(), q.available())
+		}
+		if q.loadPos >= 0 && (q.loadPos >= len(a.loadCands) || a.loadCands[q.loadPos] != q) {
+			t.Fatalf("%s: %s loadPos %d inconsistent", when, q.Name, q.loadPos)
+		}
+	}
+	for i, q := range a.loadCands {
+		if q.loadPos != i {
+			t.Fatalf("%s: loadCands[%d] = %s with loadPos %d", when, i, q.Name, q.loadPos)
+		}
+	}
 }
 
 // TestIncrementalCountersMatchRecomputation drives randomized workloads

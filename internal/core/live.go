@@ -51,12 +51,12 @@ func (a *ABM) SetBufferBytes(n int64) {
 // is nothing for a policy to protect (no pins, no starvation, and the
 // fresh-load guard self-disables), so plain LRU eviction is safe.
 func (a *ABM) DrainExcess() bool {
-	return a.makeSpace(0, nil, lruScore)
+	return a.makeSpace(0, nil)
 }
 
 // Demand summarises the table's current scheduling pressure: the number of
 // registered queries and how many of them are starved under the configured
-// threshold. The budget arbiter weighs tables by these counts.
+// threshold.
 func (a *ABM) Demand() (active, starved int) {
 	active = len(a.queries)
 	for _, q := range a.queries {
@@ -65,6 +65,42 @@ func (a *ABM) Demand() (active, starved int) {
 		}
 	}
 	return active, starved
+}
+
+// DemandBytes estimates the table's outstanding work in bytes: for every
+// registered query, the bytes its remaining chunks still have to deliver
+// (its column subset only, in DSM), with starved queries counted twice —
+// the byte-weighted analogue of Demand's active+starved stream count. The
+// budget arbiter (Manager.Rebalance) weighs tables by it, so a table whose
+// streams still have gigabytes to scan outweighs one with the same stream
+// count nursing a few trailing chunks — §7.1's "system-wide load", not
+// just stream arity.
+func (a *ABM) DemandBytes() int64 {
+	var total int64
+	for _, q := range a.queries {
+		b := int64(float64(q.remaining()) * a.queryChunkBytes(q))
+		if q.starved {
+			b *= 2
+		}
+		total += b
+	}
+	return total
+}
+
+// queryChunkBytes returns the average bytes one chunk delivers to q: the
+// query's column footprint per chunk in DSM, the table-average chunk size
+// otherwise.
+func (a *ABM) queryChunkBytes(q *Query) float64 {
+	if d, ok := a.layout.(*storage.DSMLayout); ok {
+		var per float64
+		q.Cols.Each(func(col int) { per += d.ColumnBytesPerChunk(col) })
+		return per
+	}
+	n := a.layout.NumChunks()
+	if n == 0 {
+		return 0
+	}
+	return float64(layoutBytes(a.layout)) / float64(n)
 }
 
 // SetChunkCost overrides the assumed cost (in clock seconds) of loading one

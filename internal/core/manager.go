@@ -173,11 +173,14 @@ func chunkFloorBytes(l storage.Layout) int64 {
 
 // Rebalance is the live engine's budget arbiter: it re-divides the shared
 // budget of total bytes across the attached tables in proportion to their
-// current demand — each table weighs active + starved registered queries,
-// so a table whose streams are starving pulls budget away from one that is
-// idle or coasting on buffer hits. Every table keeps a floor of two chunks
-// (the minimum to overlap one load with one consumption), and the split of
-// the remainder falls back to even shares when nothing is registered.
+// current demand — each table weighs the bytes its registered streams
+// still have to scan (DemandBytes: remaining chunk bytes per query, with
+// starved streams doubled), so a table whose streams are starving over a
+// lot of outstanding data pulls budget away from one that is idle,
+// coasting on buffer hits, or finishing its last chunks. Every table keeps
+// a floor of two chunks (the minimum to overlap one load with one
+// consumption), and the split of the remainder falls back to even shares
+// when nothing is registered.
 //
 // Grants are applied through SetBufferBytes with one safety rule: a table
 // is never granted less than it currently uses. Budget freed by a shrink
@@ -204,8 +207,7 @@ func (m *Manager) Rebalance(total int64) []int64 {
 		a := m.tables[name]
 		floors[i] = chunkFloorBytes(a.layout)
 		used[i] = a.UsedBytes()
-		active, starved := a.Demand()
-		weights[i] = float64(active + starved)
+		weights[i] = float64(a.DemandBytes())
 		sumFloor += floors[i]
 		sumW += weights[i]
 	}

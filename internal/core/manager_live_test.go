@@ -196,3 +196,51 @@ func TestLiveManagerRebalanceUnderProvisioned(t *testing.T) {
 		t.Errorf("grants = %v, want both at the %d floor", grants, floor)
 	}
 }
+
+// Two tables with the SAME number of starved streams but different
+// outstanding bytes: the arbiter must weight by remaining bytes (§7.1's
+// system-wide load), not stream arity — the table whose stream still has
+// the whole relation ahead of it out-pulls the one nursing its last two
+// chunks.
+func TestLiveManagerRebalanceWeighsRemainingBytes(t *testing.T) {
+	m, big, small := liveManagerPair(t)
+	registerFullScan(big, "bq") // 16 chunks remaining
+	sq := small.NewQuery("sq", storage.NewRangeSet(storage.Range{Start: 0, End: 2}), 0)
+	small.Register(sq) // 2 chunks remaining
+	ab, sb := big.Demand()
+	as, ss := small.Demand()
+	if ab != as || sb != ss {
+		t.Fatalf("setup: stream demand must tie (big %d/%d, small %d/%d)", ab, sb, as, ss)
+	}
+	if big.DemandBytes() <= small.DemandBytes() {
+		t.Fatalf("DemandBytes: big %d must exceed small %d", big.DemandBytes(), small.DemandBytes())
+	}
+
+	const total = 32 << 20
+	grants := m.Rebalance(total)
+	if grants[0] <= grants[1] {
+		t.Fatalf("grants = %v, want the byte-heavy table ahead of the near-done one", grants)
+	}
+	// The above-floor remainder splits in proportion to remaining bytes
+	// (16 : 2), within integer rounding.
+	floor := chunkFloorBytes(big.layout)
+	rem := int64(total) - 2*floor
+	wantBig := floor + rem*16/18
+	if diff := grants[0] - wantBig; diff < -1024 || diff > 1024 {
+		t.Errorf("big grant = %d, want ≈ %d (16/18 of the remainder)", grants[0], wantBig)
+	}
+}
+
+// A starved stream doubles its remaining bytes in the demand weight.
+func TestLiveABMDemandBytesStarvedDoubling(t *testing.T) {
+	_, hot, _ := liveManagerPair(t)
+	q := registerFullScan(hot, "hq")
+	if !q.starved {
+		t.Fatal("setup: fresh full scan must be starved")
+	}
+	chunk := layoutBytes(hot.layout) / int64(hot.layout.NumChunks())
+	want := 2 * int64(hot.layout.NumChunks()) * chunk
+	if got := hot.DemandBytes(); got != want {
+		t.Errorf("DemandBytes = %d, want %d (remaining bytes doubled while starved)", got, want)
+	}
+}

@@ -34,7 +34,7 @@ func (f *policyFixture) load(t *testing.T, c int, cols storage.ColSet) {
 	t.Helper()
 	f.env.Process("load", func(p *sim.Proc) {
 		need := f.abm.coldBytesFor(c, cols)
-		if f.abm.cache.free() < need && !f.abm.makeSpace(need, nil, lruScore) {
+		if f.abm.cache.free() < need && !f.abm.makeSpace(need, nil) {
 			t.Fatalf("no space to load chunk %d", c)
 		}
 		f.abm.loadParts(p, c, cols, nil)
@@ -60,7 +60,6 @@ func TestNSMLoadRelevancePrefersSharedChunks(t *testing.T) {
 	// q1 and q2 overlap on [5,10); q1 also needs [0,5) alone.
 	q1 := f.register("q1", rangeOf(0, 10), 0)
 	f.register("q2", rangeOf(5, 10), 0)
-	rs.refreshStarvation()
 	shared, _ := rs.loadRelevance(7, q1) // needed by both (both starved)
 	solo, _ := rs.loadRelevance(2, q1)   // needed by q1 only
 	if shared <= solo {
@@ -140,7 +139,6 @@ func TestNSMKeepRelevanceProtectsAlmostStarved(t *testing.T) {
 	for c := 10; c < 16; c++ {
 		f.load(t, c, 0)
 	}
-	rs.refreshStarvation()
 	hungryChunk := f.abm.cache.parts[partKey{chunk: 0, col: -1}]
 	richChunk := f.abm.cache.parts[partKey{chunk: 12, col: -1}]
 	if rs.keepRelevanceScore(hungryChunk) <= rs.keepRelevanceScore(richChunk) {
@@ -247,7 +245,6 @@ func TestDSMLoadRelevanceUnionsColumnsOfStarvedOverlap(t *testing.T) {
 	q1 := f.register("q1", rangeOf(0, 5), storage.Cols(0, 1))
 	f.register("q2", rangeOf(0, 5), storage.Cols(1, 2)) // overlaps q1 on col 1
 	f.register("q3", rangeOf(0, 5), storage.Cols(4, 5)) // disjoint columns
-	rs.refreshStarvation()
 	_, cols := rs.loadRelevance(2, q1)
 	if !cols.Has(0) || !cols.Has(1) || !cols.Has(2) {
 		t.Errorf("load columns = %v, want union of overlapping starved queries {0,1,2}", cols)

@@ -37,6 +37,20 @@ type Query struct {
 	starved       bool
 	almostStarved bool
 
+	// group is the DSM column-set group this query belongs to while
+	// registered (nil for NSM); its per-chunk counters are maintained in
+	// lock step with the ABM's global interest counters.
+	group *colGroup
+
+	// seq is the query's registration sequence number: the relevance
+	// loader's tie-break for equal queryRelevance (historically, the
+	// registry iteration order of a stable sort).
+	seq int
+	// loadPos is the query's slot in the ABM's loadCands index (the
+	// starved queries with something left to load), or -1. Maintained by
+	// updateStarveFlags at every availability or consumption event.
+	loadPos int
+
 	enterTime   float64
 	doneTime    float64
 	lastService float64 // last time a chunk was delivered (for aging)

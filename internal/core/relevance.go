@@ -20,42 +20,131 @@ const qMax = 1024.0
 //
 // All starvation and interest state is maintained incrementally by the ABM
 // (see the package comment); the strategy reads Query.starved/almostStarved
-// flags and the per-chunk interest counters instead of rescanning the pool.
+// flags, the per-chunk interest counters and the DSM column-group index
+// instead of rescanning the pool or the query registry. Victim selection
+// runs over a priority heap built once per eviction round, so each evicted
+// part costs O(log poolParts) instead of a pool rescan.
 type relevStrategy struct {
 	a *ABM
 
-	// Eviction-pass snapshots of the starvation state, captured by
-	// refreshStarvation exactly where the rescanning implementation used to
-	// recompute its caches. Evictions inside EnsureSpace (eviction) can flip a
-	// query's live flags mid-pass; scoring against the snapshot keeps
-	// victim selection bit-identical to the historical behaviour.
-	almostSnap     []bool // per registered query, a.queries order
-	starvedIntSnap []int  // per chunk
-	almostIntSnap  []int  // per chunk
-
-	// Scratch buffers reused across decisions to keep the hot path
-	// allocation-free.
+	// Scratch buffers reused across decisions to keep the hot paths
+	// allocation-free. keepHeap holds the current pass's eligible victims;
+	// keepUseful and keepTrigger hold the entries the guarded pass
+	// protects, melded into the heap when the relaxed and last-resort
+	// passes widen eligibility.
 	cands        []loadCand
+	keepHeap     []keepEntry
+	keepUseful   []keepEntry
+	keepTrigger  []keepEntry
 	evictScratch []*part
 }
 
-// loadCand is one starved query awaiting service, with its priority.
+// loadCand is one starved query awaiting service, with its priority and its
+// collection (registration) order — the historical tie-break for equal
+// relevance.
 type loadCand struct {
 	q   *Query
 	rel float64
+	idx int
 }
 
-// refreshStarvation snapshots the incrementally maintained starvation state
-// for an eviction pass (and for white-box tests probing the relevance
-// functions). O(queries + chunks) copies — no pool rescan.
-func (s *relevStrategy) refreshStarvation() {
-	a := s.a
-	s.almostSnap = s.almostSnap[:0]
-	for _, q := range a.queries {
-		s.almostSnap = append(s.almostSnap, q.almostStarved)
+// candBefore orders load candidates by relevance descending, collection
+// order ascending: exactly the sequence the old stable insertion sort
+// produced.
+func candBefore(x, y loadCand) bool {
+	if x.rel != y.rel {
+		return x.rel > y.rel
 	}
-	s.starvedIntSnap = append(s.starvedIntSnap[:0], a.starvedInterest...)
-	s.almostIntSnap = append(s.almostIntSnap[:0], a.almostInterest...)
+	return x.idx < y.idx
+}
+
+// candDown sifts slot i of a loadCand max-heap towards the leaves.
+func candDown(h []loadCand, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && candBefore(h[r], h[l]) {
+			best = r
+		}
+		if !candBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// keepEntry is one victim candidate in the per-eviction-round keepRelevance
+// heap. Its relevance terms are frozen when the heap is built — the exact
+// point the rescanning implementation snapshotted the starvation state — so
+// mid-round starvation flips cannot change victim choice. The DSM score's
+// denominator (resident bytes of the frozen column union) stays live:
+// evictions within the round shrink it, monotonically raising the score,
+// which the pop loop revalidates lazily.
+type keepEntry struct {
+	p     *part
+	score float64
+	// e and cols freeze the DSM terms: the number of almost-starved
+	// queries needing the chunk and the union of their column sets.
+	e    float64
+	cols storage.ColSet
+}
+
+func keepBefore(x, y keepEntry) bool {
+	if x.score != y.score {
+		return x.score < y.score
+	}
+	if x.p.key.chunk != y.p.key.chunk {
+		return x.p.key.chunk < y.p.key.chunk
+	}
+	return x.p.key.col < y.p.key.col
+}
+
+func keepDown(h []keepEntry, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && keepBefore(h[r], h[l]) {
+			best = r
+		}
+		if !keepBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (s *relevStrategy) keepPush(en keepEntry) {
+	h := append(s.keepHeap, en)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keepBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.keepHeap = h
+}
+
+func (s *relevStrategy) keepPop() keepEntry {
+	h := s.keepHeap
+	en := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.keepHeap = h[:n]
+	keepDown(s.keepHeap, 0)
+	return en
 }
 
 func (s *relevStrategy) Register(q *Query)    {}
@@ -94,23 +183,38 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 // chunk on ties) is independent of list order.
 func (s *relevStrategy) PickAvailable(q *Query) int {
 	a := s.a
-	start := time.Time{}
+	var start time.Duration
 	if a.cfg.MeasureScheduling {
-		start = time.Now()
+		start = a.schedStart()
 	}
-	best, bestScore := -1, 0.0
-	for _, c := range q.availList {
-		if !q.needs(c) {
-			continue // defensive: availability normally retires via Release
+	best := -1
+	if !a.layout.Columnar() {
+		// NSM useRelevance is qMax - interested(c): maximising it is
+		// minimising the interest count, so the loop stays in integers.
+		bestCount := 0
+		for _, c := range q.availList {
+			if !q.needed[c] {
+				continue // defensive: availability normally retires via Release
+			}
+			n := a.interestCount[c]
+			if best < 0 || n < bestCount || (n == bestCount && c < best) {
+				best, bestCount = c, n
+			}
 		}
-		score := s.useRelevance(c, q)
-		if best < 0 || score > bestScore || (score == bestScore && c < best) {
-			best, bestScore = c, score
+	} else {
+		bestScore := 0.0
+		for _, c := range q.availList {
+			if !q.needed[c] {
+				continue
+			}
+			score := s.useRelevance(c, q)
+			if best < 0 || score > bestScore || (score == bestScore && c < best) {
+				best, bestScore = c, score
+			}
 		}
 	}
 	if a.cfg.MeasureScheduling {
-		a.schedNanos += time.Since(start).Nanoseconds()
-		a.schedCalls++
+		a.schedEnd(start)
 	}
 	return best
 }
@@ -147,14 +251,13 @@ func (s *relevStrategy) cachedBytes(c int, cols storage.ColSet) int64 {
 func (s *relevStrategy) loader(p *sim.Proc) {
 	a := s.a
 	for !a.closed {
-		start := time.Time{}
+		var start time.Duration
 		if a.cfg.MeasureScheduling {
-			start = time.Now()
+			start = a.schedStart()
 		}
 		d, ok := s.NextLoad()
 		if a.cfg.MeasureScheduling {
-			a.schedNanos += time.Since(start).Nanoseconds()
-			a.schedCalls++
+			a.schedEnd(start)
 		}
 		if !ok {
 			// blockForNextQuery: nothing is starved (or nothing loadable).
@@ -177,24 +280,27 @@ func (s *relevStrategy) loader(p *sim.Proc) {
 // queries are ranked by queryRelevance, and the best loadable chunk of the
 // best query wins; if the best query has nothing loadable (everything in
 // flight), the next query is considered. The starved set comes from the
-// maintained per-query flags — no recomputation.
+// maintained per-query flags, and the ranking pops off a max-heap —
+// typically only the top candidate is examined, where the old
+// implementation insertion-sorted all O(starved²) of them.
 func (s *relevStrategy) NextLoad() (LoadDecision, bool) {
 	a := s.a
 	s.cands = s.cands[:0]
-	for _, q := range a.queries {
-		if !q.starved {
-			continue
-		}
-		s.cands = append(s.cands, loadCand{q, s.queryRelevance(q)})
+	// loadCands is the maintained candidate index: the starved queries
+	// with a non-resident needed chunk. A round with nothing loadable
+	// anywhere is an empty walk here — the state most decision rounds hit
+	// at high concurrency — instead of a scan over every registered query.
+	for _, q := range a.loadCands {
+		s.cands = append(s.cands, loadCand{q, s.queryRelevance(q), q.seq})
 	}
-	// Sort by relevance descending, registration order as tie-break.
-	cands := s.cands
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j].rel > cands[j-1].rel; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-		}
+	h := s.cands
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		candDown(h, i)
 	}
-	for _, cd := range cands {
+	for n := len(h); n > 0; n-- {
+		cd := h[0]
+		h[0] = h[n-1]
+		candDown(h[:n-1], 0)
 		if c, cols, ok := s.chooseChunkToLoad(cd.q); ok {
 			return LoadDecision{Query: cd.q, Chunk: c, Cols: cols}, true
 		}
@@ -221,13 +327,14 @@ func (s *relevStrategy) queryRelevance(q *Query) float64 {
 
 // chooseChunkToLoad returns the chunk with the highest loadRelevance among
 // the query's needed, not-resident, not-in-flight chunks, plus the column
-// set to load.
+// set to load. The walk is bounded by the query's own range span.
 func (s *relevStrategy) chooseChunkToLoad(q *Query) (int, storage.ColSet, bool) {
 	a := s.a
 	best, ok := -1, false
 	bestScore := 0.0
 	var bestCols storage.ColSet
-	for c := 0; c < len(q.needed); c++ {
+	lo, hi := q.Ranges.Min(), q.Ranges.Max()
+	for c := lo; c <= hi; c++ {
 		if !q.needed[c] {
 			continue
 		}
@@ -254,20 +361,16 @@ func (s *relevStrategy) loadState(q *Query, c int) (needsIO, inFlight bool) {
 // loadRelevance scores a load candidate. NSM (Figure 3): chunks needed by
 // many starved queries dominate (an O(1) counter read), with total interest
 // as the tie-breaker. DSM (Figure 11): starved-queries-served per cold
-// byte, loading the union of the overlapping starved queries' columns.
+// byte, loading the union of the overlapping starved queries' columns —
+// both the count and the union read off the column-group index instead of a
+// query scan.
 func (s *relevStrategy) loadRelevance(c int, q *Query) (float64, storage.ColSet) {
 	a := s.a
 	if !a.layout.Columnar() {
 		return float64(a.starvedInterest[c])*qMax + float64(a.interestCount[c]), 0
 	}
-	cols := q.Cols
-	l := 0
-	for _, o := range a.queries {
-		if o.starved && o.needs(c) && o.Cols.Overlaps(q.Cols) {
-			l++
-			cols = cols.Union(o.Cols)
-		}
-	}
+	l, union := a.starvedOverlap(c, q.Cols)
+	cols := q.Cols.Union(union)
 	pl := float64(a.coldBytesFor(c, cols))
 	if pl < 1 {
 		pl = 1
@@ -284,16 +387,19 @@ func (s *relevStrategy) loadRelevance(c int, q *Query) (float64, storage.ColSet)
 // eviction is iterative. If the guarded pass cannot free enough and every
 // query is blocked (a DSM corner the paper's greedy approach misses), a
 // final pass relaxes the usefulness guard to avoid deadlock.
+//
+// Victim selection pops off a min-heap of keepEntry built once per call
+// (the old per-victim pool rescans, flattened); all three passes share the
+// heap, parking kept entries on an aside list between passes.
 func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 	a := s.a
-	start := time.Time{}
+	var start time.Duration
 	if a.cfg.MeasureScheduling {
-		start = time.Now()
+		start = a.schedStart()
 	}
 	defer func() {
 		if a.cfg.MeasureScheduling {
-			a.schedNanos += time.Since(start).Nanoseconds()
-			a.schedCalls++
+			a.schedEnd(start)
 		}
 	}()
 
@@ -310,11 +416,11 @@ func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 		}
 	}
 
-	s.refreshStarvation()
-	guard := func(pt *part) bool {
-		return trigger.needs(pt.key.chunk) || s.usefulForStarved(pt.key.chunk)
-	}
-	if a.makeSpace(need, guard, s.keepRelevanceScore) {
+	// Guarded pass: the heap starts with only the unprotected entries;
+	// chunks the trigger needs or a starved query still wants sit in the
+	// keepTrigger/keepUseful buckets.
+	s.buildKeepHeap(trigger)
+	if s.evictFromKeepHeap(need) {
 		return true
 	}
 	for _, q := range a.queries {
@@ -322,54 +428,150 @@ func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 			return false // progress is still possible; wait instead
 		}
 	}
-	relaxed := func(pt *part) bool { return trigger.needs(pt.key.chunk) }
-	if a.makeSpace(need, relaxed, s.keepRelevanceScore) {
+	// Relaxed pass, every query blocked: chunks useful to starved queries
+	// become eligible (avoiding the DSM-corner deadlock the paper's greedy
+	// approach misses) — still sparing chunks the trigger itself needs.
+	s.meldKeep(s.keepUseful)
+	s.keepUseful = s.keepUseful[:0]
+	if s.evictFromKeepHeap(need) {
 		return true
 	}
 	// Last resort, still with every query blocked: evict anything unpinned
 	// (even chunks the trigger needs) — without this, a buffer filled
 	// entirely with the trigger's own partial chunks wedges the loader.
-	return a.makeSpace(need, nil, s.keepRelevanceScore)
+	s.meldKeep(s.keepTrigger)
+	s.keepTrigger = s.keepTrigger[:0]
+	return s.evictFromKeepHeap(need)
 }
 
-// colUseless reports whether no registered query that needs the chunk reads
-// this column.
-func (s *relevStrategy) colUseless(k partKey) bool {
-	for _, q := range s.a.queries {
-		if q.needs(k.chunk) && (k.col < 0 || q.Cols.Has(k.col)) {
+// buildKeepHeap snapshots the evictable pool into the keepRelevance victim
+// heap: one entry per eligible loaded part, scored and guarded with the
+// counter values of this instant — exactly what the rescanning
+// implementation's refreshStarvation froze. Ineligible parts (pinned,
+// loading, assembling, fresh) are excluded up front; none of those
+// conditions can change within an eviction round. Entries the guarded pass
+// protects are bucketed by protection level instead of heaped, so the
+// common pass pops only true candidates; the later passes meld the buckets
+// in as their eligibility widens.
+func (s *relevStrategy) buildKeepHeap(trigger *Query) {
+	a := s.a
+	heap := s.keepHeap[:0]
+	useful := s.keepUseful[:0]
+	trig := s.keepTrigger[:0]
+	columnar := a.layout.Columnar()
+	// Hoist the exclusion-guard state and counter slices out of the loop:
+	// this walk runs once per eviction round over the whole pool and is the
+	// round's dominant cost.
+	assembling := len(a.assembling) > 0
+	freshGuard := len(a.fresh) > 0
+	triggerNeeded := trigger.needed
+	almost, interest, starvedInt := a.almostInterest, a.interestCount, a.starvedInterest
+	for _, pt := range a.cache.loaded {
+		if pt.state != partLoaded || pt.pins != 0 ||
+			(assembling && a.assembling[pt.key] > 0) {
+			continue
+		}
+		c := pt.key.chunk
+		if freshGuard && a.fresh[c] && interest[c] > 0 {
+			continue
+		}
+		en := keepEntry{p: pt}
+		if !columnar {
+			en.score = float64(almost[c])*qMax + float64(interest[c])
+		} else {
+			n, cols := a.almostNeeding(c)
+			en.e, en.cols = float64(n), cols
+			en.score = s.keepScoreDSM(&en)
+		}
+		switch {
+		case triggerNeeded[c]:
+			trig = append(trig, en)
+		case starvedInt[c] > 0:
+			useful = append(useful, en)
+		default:
+			heap = append(heap, en)
+		}
+	}
+	s.keepHeap, s.keepUseful, s.keepTrigger = heap, useful, trig
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		keepDown(heap, i)
+	}
+}
+
+// meldKeep adds a protection bucket to the victim heap (the next pass's
+// wider eligibility) and restores the heap order.
+func (s *relevStrategy) meldKeep(bucket []keepEntry) {
+	s.keepHeap = append(s.keepHeap, bucket...)
+	for i := len(s.keepHeap)/2 - 1; i >= 0; i-- {
+		keepDown(s.keepHeap, i)
+	}
+}
+
+// keepScoreDSM recomputes a frozen entry's score over the live resident
+// bytes of its column union.
+func (s *relevStrategy) keepScoreDSM(en *keepEntry) float64 {
+	pe := float64(s.cachedBytes(en.p.key.chunk, en.cols))
+	if pe < 1 {
+		pe = 1
+	}
+	return en.e / pe
+}
+
+// evictFromKeepHeap evicts the lowest-keepRelevance victims off the heap
+// until free() >= need, or reports failure when the heap runs dry. DSM
+// scores are revalidated at pop: an eviction can only shrink a sibling
+// part's resident bytes, so scores grow monotonically within a round and a
+// popped entry whose stored score is stale is simply re-keyed and
+// re-pushed — the first entry popped with a current score is the exact
+// minimum the old linear rescan found, including its (chunk, col)
+// tie-break.
+func (s *relevStrategy) evictFromKeepHeap(need int64) bool {
+	a := s.a
+	columnar := a.layout.Columnar()
+	for a.cache.free() < need {
+		if len(s.keepHeap) == 0 {
 			return false
 		}
+		en := s.keepPop()
+		if columnar {
+			if cur := s.keepScoreDSM(&en); cur > en.score {
+				en.score = cur
+				s.keepPush(en)
+				continue
+			}
+		}
+		a.evictPart(en.p.key)
 	}
 	return true
 }
 
-// usefulForStarved reports whether a strictly starved query still needed c
-// at the time of the eviction pass's snapshot.
-func (s *relevStrategy) usefulForStarved(c int) bool {
-	return s.starvedIntSnap[c] > 0
+// colUseless reports whether no registered query that needs the chunk reads
+// this column: a column-group read, not a query scan.
+func (s *relevStrategy) colUseless(k partKey) bool {
+	a := s.a
+	if k.col < 0 || !a.layout.Columnar() {
+		return a.interestCount[k.chunk] == 0
+	}
+	return !a.colInterested(k.chunk, k.col)
 }
 
 // keepRelevanceScore is the eviction score: lower evicts first. NSM
-// (Figure 3): almost-starved interest (a snapshot counter read) dominates,
-// total interest breaks ties. DSM (Figure 11): almost-starved queries
-// served per cached byte.
+// (Figure 3): almost-starved interest (a counter read) dominates, total
+// interest breaks ties. DSM (Figure 11): almost-starved queries served per
+// cached byte, via the column-group index. It reads the live counters; the
+// eviction heap freezes these values per round at build time (the old
+// snapshot point), so mid-round starvation flips cannot change victim
+// choice.
 func (s *relevStrategy) keepRelevanceScore(pt *part) float64 {
 	a := s.a
 	c := pt.key.chunk
 	if !a.layout.Columnar() {
-		return float64(s.almostIntSnap[c])*qMax + float64(a.interestCount[c])
+		return float64(a.almostInterest[c])*qMax + float64(a.interestCount[c])
 	}
-	var cols storage.ColSet
-	e := 0
-	for i, q := range a.queries {
-		if q.needs(c) && s.almostSnap[i] {
-			e++
-			cols = cols.Union(q.Cols)
-		}
-	}
+	n, cols := a.almostNeeding(c)
 	pe := float64(s.cachedBytes(c, cols))
 	if pe < 1 {
 		pe = 1
 	}
-	return float64(e) / pe
+	return float64(n) / pe
 }

@@ -133,7 +133,7 @@ func (s *seqStrategy) PickAvailable(q *Query) int {
 // EnsureSpace evicts plain LRU victims, as the paper's normal/attach
 // policies do.
 func (s *seqStrategy) EnsureSpace(need int64, _ *Query) bool {
-	return s.a.makeSpace(need, nil, lruScore)
+	return s.a.makeSpace(need, nil)
 }
 
 // nextSeqChunk returns the next chunk in (possibly wrapped) range order.
@@ -243,7 +243,7 @@ func (a *ABM) ensureChunkDemand(p *sim.Proc, q *Query, c int) bool {
 		}
 		need := a.coldBytesFor(c, cols)
 		if a.cache.free() < need {
-			if !a.makeSpace(need, nil, lruScore) {
+			if !a.makeSpace(need, nil) {
 				// No victims: abandon our assembly marks so a competing
 				// scan can finish its chunk, and retry on the next event.
 				// Chunk assembly degrades to (partially) serial under
@@ -275,7 +275,7 @@ func (a *ABM) prefetchChunk(p *sim.Proc, q *Query, c int) {
 	if need == 0 {
 		return
 	}
-	if a.cache.free() < need && !a.makeSpace(need, nil, lruScore) {
+	if a.cache.free() < need && !a.makeSpace(need, nil) {
 		return // no space without blocking: skip the read-ahead
 	}
 	a.loadParts(p, c, cols, q)

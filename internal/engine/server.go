@@ -42,6 +42,11 @@ type ServerConfig struct {
 	StarveThreshold int
 	ElevatorWindow  int
 	Prefetch        int
+	// MeasureScheduling forwards to core.Config: every table's ABM then
+	// meters the wall-clock cost of its scheduling decisions (NextLoad,
+	// EnsureSpace, PickAvailable), surfaced per table in ServerStats — the
+	// live-engine counterpart of the simulator's Figure-8 measurement.
+	MeasureScheduling bool
 	// ReadBandwidth, when positive, models the device: each in-flight load
 	// stream is limited to this many bytes per second (the worker sleeps
 	// off the residual after the real read), so the aggregate device
@@ -64,6 +69,10 @@ type TableStats struct {
 	ABM core.SystemStats
 	// BudgetBytes is the table's current arbiter grant.
 	BudgetBytes int64
+	// SchedNanos/SchedCalls meter the table's scheduling decisions (zero
+	// unless ServerConfig.MeasureScheduling).
+	SchedNanos int64
+	SchedCalls int64
 }
 
 // ServerStats aggregates a run's counters: per-table ABM decisions plus the
@@ -153,9 +162,10 @@ type Server struct {
 	// cfg.InFlightDepth.
 	inFlight int
 	// demand is the last weight vector the arbiter ran with (per table,
-	// active+starved); rebalancing re-runs when it changes or while a
-	// clamped shrink is still draining.
-	demand []int
+	// remaining demand bytes); rebalancing re-runs when a table's demand
+	// shifts materially (see demandShifted) or while a clamped shrink is
+	// still draining.
+	demand []int64
 
 	closed bool
 	err    error
@@ -208,10 +218,11 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mgr = core.NewLiveManager(wallClock{start: time.Now()}, core.Config{
-		Policy:          cfg.Policy,
-		StarveThreshold: cfg.StarveThreshold,
-		ElevatorWindow:  cfg.ElevatorWindow,
-		Prefetch:        cfg.Prefetch,
+		Policy:            cfg.Policy,
+		StarveThreshold:   cfg.StarveThreshold,
+		ElevatorWindow:    cfg.ElevatorWindow,
+		Prefetch:          cfg.Prefetch,
+		MeasureScheduling: cfg.MeasureScheduling,
 	})
 	for i, tf := range tfs {
 		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
@@ -294,20 +305,20 @@ func (s *Server) scheduler() {
 	}
 }
 
-// maybeRebalance re-runs the budget arbiter when the per-table demand
-// vector (active+starved query counts) has shifted, or while some table
-// still uses more than the total would grant it (a clamped shrink that
-// must be re-applied as the table drains).
+// maybeRebalance re-runs the budget arbiter when some table's demand (the
+// bytes its streams still have to scan, starved streams doubled) has
+// shifted materially, or while some table still uses more than the total
+// would grant it (a clamped shrink that must be re-applied as the table
+// drains).
 func (s *Server) maybeRebalance() {
 	changed := false
 	if len(s.demand) != len(s.tables) {
-		s.demand = make([]int, len(s.tables))
+		s.demand = make([]int64, len(s.tables))
 		changed = true
 	}
 	draining := false
 	for i, t := range s.tables {
-		active, starved := t.abm.Demand()
-		if w := active + starved; w != s.demand[i] {
+		if w := t.abm.DemandBytes(); demandShifted(s.demand[i], w) {
 			s.demand[i] = w
 			changed = true
 		}
@@ -316,7 +327,7 @@ func (s *Server) maybeRebalance() {
 			// own EnsureSpace calls; one without queries never loads, so
 			// evict its excess here or the usage clamp in Rebalance would
 			// strand the bytes against the demanding tables forever.
-			if active == 0 {
+			if active, _ := t.abm.Demand(); active == 0 {
 				t.abm.DrainExcess()
 			}
 			draining = true
@@ -325,6 +336,26 @@ func (s *Server) maybeRebalance() {
 	if changed || draining {
 		s.mgr.Rebalance(s.cfg.BufferBytes)
 	}
+}
+
+// demandShifted reports whether a table's demand weight moved enough to
+// re-run the arbiter: any zero/non-zero flip, or a shift of at least an
+// eighth of the previous weight. Byte demand shrinks with every consumed
+// chunk, so rebalancing on every delta would churn budgets for
+// integer-crumb gains; the hysteresis keeps arbiter runs proportional to
+// real load shifts.
+func demandShifted(old, new int64) bool {
+	if old == new {
+		return false
+	}
+	if old == 0 || new == 0 {
+		return true
+	}
+	d := new - old
+	if d < 0 {
+		d = -d
+	}
+	return d*8 >= old
 }
 
 // issueOne asks the tables round-robin for their next load decision,
@@ -547,10 +578,13 @@ func (s *Server) Stats() ServerStats {
 	defer s.mu.Unlock()
 	out := ServerStats{Pool: s.pool.Stats()}
 	for _, t := range s.tables {
+		schedDur, schedCalls := t.abm.SchedulingCost()
 		out.Tables = append(out.Tables, TableStats{
 			Name:        t.name,
 			ABM:         t.abm.Stats(),
 			BudgetBytes: t.abm.BufferBytes(),
+			SchedNanos:  schedDur.Nanoseconds(),
+			SchedCalls:  schedCalls,
 		})
 	}
 	return out

@@ -199,6 +199,25 @@ func TestSchedScalingSweep(t *testing.T) {
 	if len(r.Points) != len(r.Opts.Queries) {
 		t.Fatalf("points = %d, want %d", len(r.Points), len(r.Opts.Queries))
 	}
+	// The chunk-count sweep appends one point per chunk level, at the
+	// fixed query count, with batched startup.
+	o := QuickSchedScaling()
+	o.Queries = []int{4}
+	o.ChunkSweep = []int{64, 128}
+	o.FixedQueries = 8
+	o.StreamBatch = 4
+	cs := SchedScaling(o)
+	if len(cs.Points) != 3 {
+		t.Fatalf("chunk-sweep points = %d, want 3", len(cs.Points))
+	}
+	for i, chunks := range []int{512, 64, 128} {
+		if cs.Points[i].Chunks != chunks {
+			t.Errorf("point %d chunks = %d, want %d", i, cs.Points[i].Chunks, chunks)
+		}
+	}
+	if cs.Points[1].Queries != 8 || cs.Points[2].Queries != 8 {
+		t.Errorf("chunk-sweep points must run at FixedQueries=8: %+v", cs.Points[1:])
+	}
 	for _, p := range r.Points {
 		if p.Decisions <= 0 {
 			t.Errorf("%d queries: no scheduling decisions recorded", p.Queries)

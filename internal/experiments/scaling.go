@@ -14,30 +14,46 @@ import (
 
 // SchedScalingOpts parameterises the large-scale extension of the Figure 8
 // scheduling-cost experiment: instead of sweeping the chunk count at a fixed
-// 16 streams, it sweeps the number of concurrent queries (up to 64) at a
-// fixed, fine-grained chunking, which is exactly the regime where the naive
-// O(queries × chunks) relevance scheduler collapses and the incremental
-// scheduler stays flat.
+// 16 streams, it sweeps the number of concurrent queries (and, optionally,
+// the chunk count at a fixed concurrency) at a fixed relation size, which is
+// exactly the regime where a naive O(queries × chunks) relevance scheduler
+// collapses and the incremental scheduler stays flat.
 type SchedScalingOpts struct {
 	TableBytes int64   // relation size
 	Chunks     int     // number of chunks the relation is divided into
 	ScanPct    float64 // fraction of the relation each query reads
 	Queries    []int   // concurrent query counts to sweep
-	Seed       uint64
+	// ChunkSweep, when non-empty, additionally sweeps the chunk count at
+	// FixedQueries concurrent queries (same relation size, finer chunks),
+	// measuring per-decision cost against the scheduler's other scaling
+	// axis.
+	ChunkSweep   []int
+	FixedQueries int
+	// StreamBatch forwards to workload.Spec: streams enter in batches of
+	// this size so a 512-stream point does not spend 512 delays ramping
+	// up. Zero means one stream per delay step (the recorded-baseline
+	// shape).
+	StreamBatch int
+	Seed        uint64
 }
 
 // DefaultSchedScaling is the full-scale configuration: a 2 GB relation in
-// 1024 chunks, 10% scans, 4..64 concurrent queries.
+// 1024 chunks, 10% scans, 4..512 concurrent queries (batched startup above
+// 64), plus a chunk-count sweep at 256 queries.
 func DefaultSchedScaling() SchedScalingOpts {
 	return SchedScalingOpts{
 		TableBytes: 2 << 30, Chunks: 1024, ScanPct: 10,
-		Queries: []int{4, 8, 16, 32, 64}, Seed: 9,
+		Queries:      []int{4, 8, 16, 32, 64, 128, 256, 512},
+		ChunkSweep:   []int{2048, 4096},
+		FixedQueries: 256,
+		StreamBatch:  8,
+		Seed:         9,
 	}
 }
 
-// QuickSchedScaling is the scaled-down configuration used by tests and
-// BenchmarkSchedulerScaling; it keeps the 64-query point, which is the one
-// the acceptance comparison is made at.
+// QuickSchedScaling is the scaled-down configuration used by tests and the
+// decision-baseline golden; it keeps the 64-query point. It must not drift:
+// its decisions are pinned by testdata/decision_baseline.txt.
 func QuickSchedScaling() SchedScalingOpts {
 	return SchedScalingOpts{
 		TableBytes: 512 << 20, Chunks: 512, ScanPct: 10,
@@ -45,9 +61,10 @@ func QuickSchedScaling() SchedScalingOpts {
 	}
 }
 
-// SchedScalingPoint is one concurrency level's measurement.
+// SchedScalingPoint is one (concurrency, chunk-count) level's measurement.
 type SchedScalingPoint struct {
 	Queries     int
+	Chunks      int
 	Decisions   int64   // scheduling decisions taken
 	SchedMS     float64 // total wall-clock ms inside those decisions
 	PerDecision float64 // mean ns per decision
@@ -63,51 +80,65 @@ type SchedScalingResult struct {
 
 // SchedScaling runs n concurrent relevance-policy queries per point (one
 // query per stream, short stagger) and records the wall-clock cost of the
-// scheduler's decisions.
+// scheduler's decisions: first the query-count sweep at Opts.Chunks, then
+// the optional chunk-count sweep at Opts.FixedQueries.
 func SchedScaling(o SchedScalingOpts) *SchedScalingResult {
 	out := &SchedScalingResult{Opts: o}
-	chunkBytes := o.TableBytes / int64(o.Chunks)
-	rows := o.TableBytes / int64(PAXTupleBytes)
-	tab := tpch.LineitemTable(float64(rows) / tpch.RowsPerSF)
-	layout := storage.NewNSMLayoutWidth(tab, chunkBytes, 0, PAXTupleBytes)
 	for _, n := range o.Queries {
-		var mix workload.Mix
-		mix.Label = fmt.Sprintf("F-%g×%d", o.ScanPct, n)
-		mix.Templates = []workload.Template{{Speed: workload.Fast, Percent: o.ScanPct}}
-		spec := workload.Spec{
-			Layout:            layout,
-			BufferBytes:       o.TableBytes / 2,
-			Streams:           n,
-			QueriesPerStream:  1,
-			StreamDelay:       0.1,
-			Mix:               mix,
-			Seed:              o.Seed,
-			Policy:            core.Relevance,
-			MeasureScheduling: true,
-		}
-		res := spec.Run()
-		pt := SchedScalingPoint{
-			Queries: n, Decisions: res.SchedCalls,
-			SchedMS:    res.SchedNanos / 1e6,
-			IORequests: res.IORequests, Evictions: res.Evictions,
-		}
-		if res.SchedCalls > 0 {
-			pt.PerDecision = res.SchedNanos / float64(res.SchedCalls)
-		}
-		out.Points = append(out.Points, pt)
+		out.Points = append(out.Points, schedScalingPoint(o, n, o.Chunks))
+	}
+	for _, chunks := range o.ChunkSweep {
+		out.Points = append(out.Points, schedScalingPoint(o, o.FixedQueries, chunks))
 	}
 	return out
 }
 
+// schedScalingPoint measures one (queries, chunks) combination.
+func schedScalingPoint(o SchedScalingOpts, n, chunks int) SchedScalingPoint {
+	chunkBytes := o.TableBytes / int64(chunks)
+	rows := o.TableBytes / int64(PAXTupleBytes)
+	tab := tpch.LineitemTable(float64(rows) / tpch.RowsPerSF)
+	layout := storage.NewNSMLayoutWidth(tab, chunkBytes, 0, PAXTupleBytes)
+	var mix workload.Mix
+	mix.Label = fmt.Sprintf("F-%g×%d", o.ScanPct, n)
+	mix.Templates = []workload.Template{{Speed: workload.Fast, Percent: o.ScanPct}}
+	spec := workload.Spec{
+		Layout:            layout,
+		BufferBytes:       o.TableBytes / 2,
+		Streams:           n,
+		QueriesPerStream:  1,
+		StreamDelay:       0.1,
+		StreamBatch:       o.StreamBatch,
+		Mix:               mix,
+		Seed:              o.Seed,
+		Policy:            core.Relevance,
+		MeasureScheduling: true,
+	}
+	res := spec.Run()
+	pt := SchedScalingPoint{
+		Queries: n, Chunks: chunks, Decisions: res.SchedCalls,
+		SchedMS:    res.SchedNanos / 1e6,
+		IORequests: res.IORequests, Evictions: res.Evictions,
+	}
+	if res.SchedCalls > 0 {
+		pt.PerDecision = res.SchedNanos / float64(res.SchedCalls)
+	}
+	return pt
+}
+
 func (r *SchedScalingResult) String() string {
 	var b strings.Builder
-	header(&b, "Scheduler scaling: relevance decision cost vs concurrent queries")
-	fmt.Fprintf(&b, "(%d chunks, %g%% scans)\n", r.Opts.Chunks, r.Opts.ScanPct)
-	fmt.Fprintf(&b, "%9s %11s %11s %13s %9s %10s\n",
-		"#queries", "decisions", "sched-ms", "ns/decision", "ios", "evictions")
+	header(&b, "Scheduler scaling: relevance decision cost vs concurrent queries and chunks")
+	fmt.Fprintf(&b, "(%g%% scans; query sweep at %d chunks", r.Opts.ScanPct, r.Opts.Chunks)
+	if len(r.Opts.ChunkSweep) > 0 {
+		fmt.Fprintf(&b, ", chunk sweep at %d queries", r.Opts.FixedQueries)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "%9s %8s %11s %11s %13s %9s %10s\n",
+		"#queries", "#chunks", "decisions", "sched-ms", "ns/decision", "ios", "evictions")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%9d %11d %11.2f %13.0f %9d %10d\n",
-			p.Queries, p.Decisions, p.SchedMS, p.PerDecision, p.IORequests, p.Evictions)
+		fmt.Fprintf(&b, "%9d %8d %11d %11.2f %13.0f %9d %10d\n",
+			p.Queries, p.Chunks, p.Decisions, p.SchedMS, p.PerDecision, p.IORequests, p.Evictions)
 	}
 	return b.String()
 }

@@ -23,6 +23,11 @@ type Spec struct {
 	Streams          int     // default 16
 	QueriesPerStream int     // default 4
 	StreamDelay      float64 // seconds between stream starts; default 3
+	// StreamBatch starts streams in batches of this size: batch k enters at
+	// k*StreamDelay, so a 512-stream sweep does not spend 512 delays just
+	// ramping up. Default 1 (one stream per delay step, the paper's
+	// methodology and the shape every recorded decision baseline ran).
+	StreamBatch int
 
 	Mix  Mix
 	Seed uint64
@@ -73,6 +78,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.StreamDelay == 0 {
 		s.StreamDelay = 3
+	}
+	if s.StreamBatch <= 0 {
+		s.StreamBatch = 1
 	}
 	if s.FastCPUFactor == 0 {
 		s.FastCPUFactor = 0.5
@@ -295,7 +303,7 @@ func (s Spec) Run() Result {
 	for st := 0; st < s.Streams; st++ {
 		st := st
 		streamRNG := NewRNG(s.Seed*1_000_003 + uint64(st))
-		delay := float64(st) * s.StreamDelay
+		delay := float64(st/s.StreamBatch) * s.StreamDelay
 		sys.env.ProcessAt(fmt.Sprintf("stream-%d", st), delay, func(p *sim.Proc) {
 			start := p.Now()
 			for qi := 0; qi < s.QueriesPerStream; qi++ {
