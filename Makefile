@@ -3,16 +3,19 @@
 # trajectory is tracked in-repo from PR 1 onward; since PR 2 the record
 # includes BenchmarkLiveEngine — the first real (non-simulated) numbers —
 # PR 3 adds BenchmarkMultiTableLive (shared-budget multi-table server,
-# `make bench-multi` → BENCH_PR3.json), and PR 4 adds the scheduler
+# `make bench-multi` → BENCH_PR3.json), PR 4 adds the scheduler
 # scaling sweeps (sim 64..512 queries + chunk sweep, live 64/256 streams,
-# `make bench-sched` → BENCH_PR4.json). See docs/BENCHMARKS.md for the
-# trajectory and repro commands.
+# `make bench-sched` → BENCH_PR4.json), and PR 5 adds the DSM live
+# tables comparison (`make bench-dsm` → BENCH_PR5.json: BenchmarkLiveEngine
+# nsm/dsm × policy, plus the Q6-only BenchmarkLiveColumnIO bytes-read
+# pair whose dsm/nsm ratio must stay ≤ 0.45). See docs/BENCHMARKS.md for
+# the trajectory and repro commands.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: build test test-race vet fmt-check bench bench-live bench-multi bench-sched bench-json
+.PHONY: build test test-race vet fmt-check bench bench-live bench-multi bench-sched bench-dsm bench-json
 
 build:
 	$(GO) build ./...
@@ -55,6 +58,13 @@ bench-multi:
 # stay flat (or logarithmic) as concurrency grows.
 bench-sched:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerScaling|BenchmarkLiveSchedulerScaling' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR4.json
+
+# DSM live tables (the PR 5 perf artifact): the full live workload over
+# NSM and DSM files for every policy, plus the Q6-only column-I/O pair.
+# Acceptance: BenchmarkLiveColumnIO dsm MiB-read/op ≤ 0.45 × nsm, and
+# relevance still beats normal on the dsm wall-clock totals.
+bench-dsm:
+	$(GO) test -run '^$$' -bench 'BenchmarkLiveEngine|BenchmarkLiveColumnIO' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR5.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

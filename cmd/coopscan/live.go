@@ -17,12 +17,15 @@ import (
 // runLive is the `coopscan live` subcommand: it generates (or reuses) a
 // real chunked table file and runs N concurrent query streams over it in
 // wall-clock time under one or all scheduling policies, reporting
-// per-query latency and aggregate bandwidth. This is the live counterpart
-// of the simulated experiments: same policies, same ABM decision core,
-// real goroutines and real file I/O.
+// per-query latency, aggregate bandwidth and the useful-bytes fraction
+// (bytes the queries' projections consumed vs bytes read off the device).
+// With -dsm the file is stored column-major, so queries read only the
+// columns they project — the paper's §5 DSM cooperative scans — and the
+// useful fraction approaches 1 where the NSM run pays the full row width.
 func runLive(args []string) {
 	fs := flag.NewFlagSet("live", flag.ExitOnError)
 	file := fs.String("file", "", "table file path (default: a per-shape file under $TMPDIR, created on demand)")
+	dsm := fs.Bool("dsm", false, "store/open the table column-major (DSM): queries pay only for the columns they read")
 	rows := fs.Int64("rows", 1_500_000, "table rows when creating the file")
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the file")
 	seed := fs.Uint64("seed", 1, "generator and workload seed")
@@ -41,14 +44,18 @@ func runLive(args []string) {
 		fmt.Fprintln(os.Stderr, "coopscan live:", err)
 		os.Exit(2)
 	}
-	tf, err := openOrCreate(*file, *rows, *tpc, *seed)
+	format := engine.NSM
+	if *dsm {
+		format = engine.DSM
+	}
+	tf, err := openOrCreate(*file, format, *rows, *tpc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coopscan live:", err)
 		os.Exit(1)
 	}
 	defer tf.Close()
-	fmt.Printf("table: %s (%d rows, %d chunks × %s, %s total)\n",
-		tf.Path(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
+	fmt.Printf("table: %s (%s, %d rows, %d chunks × %s, %s total)\n",
+		tf.Path(), tf.Format(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
 		fmtBytes(int64(tf.NumChunks())*tf.ChunkBytes()))
 	fmt.Printf("workload: %d streams × %d queries, %s buffer, stagger %v\n\n",
 		*streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
@@ -76,19 +83,28 @@ func parsePolicies(s string) ([]core.Policy, error) {
 }
 
 // openOrCreate opens the table file, generating it only when the path does
-// not exist yet. An existing file that fails to open is an error — never
-// overwritten (the user may have pointed -file at something else entirely).
-func openOrCreate(path string, rows, tpc int64, seed uint64) (*engine.TableFile, error) {
+// not exist yet. An existing file that fails to open, or that stores the
+// other physical format, is an error — never overwritten (the user may have
+// pointed -file at something else entirely).
+func openOrCreate(path string, format engine.Format, rows, tpc int64, seed uint64) (*engine.TableFile, error) {
 	if path == "" {
-		path = filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-live-%d-%d-%d.tbl", rows, tpc, seed))
+		path = filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-live-%s-%d-%d-%d.tbl", format, rows, tpc, seed))
 	}
 	if _, err := os.Stat(path); err == nil {
-		return engine.Open(path)
+		tf, err := engine.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		if tf.Format() != format {
+			tf.Close()
+			return nil, fmt.Errorf("%s stores %v, want %v (pick another -file or remove it)", path, tf.Format(), format)
+		}
+		return tf, nil
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 	fmt.Printf("generating %s ...\n", path)
-	return engine.Create(path, rows, tpc, seed)
+	return engine.CreateFormat(path, format, rows, tpc, seed)
 }
 
 // liveOutcome is one executed query.
@@ -96,16 +112,18 @@ type liveOutcome struct {
 	name    string
 	chunks  int
 	latency time.Duration
+	useful  int64
 }
 
 // liveResult is one policy's aggregate outcome.
 type liveResult struct {
-	policy    core.Policy
-	total     time.Duration
-	outcomes  []liveOutcome
-	stats     engine.SystemStats
-	realBytes int64
-	verbose   bool
+	policy      core.Policy
+	total       time.Duration
+	outcomes    []liveOutcome
+	stats       engine.SystemStats
+	realBytes   int64
+	usefulBytes int64
+	verbose     bool
 }
 
 func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*liveResult, error) {
@@ -128,13 +146,14 @@ func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inf
 			time.Sleep(time.Duration(s) * stagger)
 			for _, q := range plan[s] {
 				qStart := time.Now()
-				st, err := eng.Scan(q.Name, q.Ranges, liveOnChunk(q.Slow))
+				st, err := eng.Scan(q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
 				res.outcomes = append(res.outcomes, liveOutcome{
 					name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
+					useful: st.BytesUseful,
 				})
 				mu.Unlock()
 			}
@@ -146,7 +165,10 @@ func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inf
 		return nil, firstErr
 	}
 	res.stats = eng.Stats()
-	res.realBytes = int64(res.stats.Pool.Misses) * tf.StripeBytes()
+	res.realBytes = res.stats.Pool.BytesLoaded
+	for _, o := range res.outcomes {
+		res.usefulBytes += o.useful
+	}
 	sort.Slice(res.outcomes, func(i, j int) bool { return res.outcomes[i].name < res.outcomes[j].name })
 	return res, nil
 }
@@ -159,6 +181,16 @@ func liveOnChunk(slow bool) func(int, engine.ChunkData) {
 	}
 	pred := exec.DefaultQ6()
 	return func(_ int, d engine.ChunkData) { engine.Q6Chunk(d, pred) }
+}
+
+// usefulFraction is bytes-consumed / bytes-read: above 1 means cross-query
+// sharing served more projection bytes than the device delivered; well
+// below 1 means the layout read bytes no query used (NSM's row-width tax).
+func usefulFraction(useful, read int64) float64 {
+	if read <= 0 {
+		return 0
+	}
+	return float64(useful) / float64(read)
 }
 
 func (r *liveResult) String() string {
@@ -174,12 +206,14 @@ func (r *liveResult) String() string {
 		avg = sum / time.Duration(len(r.outcomes))
 	}
 	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
-	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  loads %4d  evict %4d  read %8s (%.0f MiB/s)\n",
+	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  loads %4d  evict %4d  read %8s (%.0f MiB/s)  useful %8s (%.2fx)\n",
 		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond), max.Round(time.Millisecond),
-		r.stats.ABM.Loads, r.stats.ABM.Evictions, fmtBytes(r.realBytes), bw)
+		r.stats.ABM.Loads, r.stats.ABM.Evictions, fmtBytes(r.realBytes), bw,
+		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
 	if r.verbose {
 		for _, o := range r.outcomes {
-			out += fmt.Sprintf("  %-10s %4d chunks  %8v\n", o.name, o.chunks, o.latency.Round(time.Millisecond))
+			out += fmt.Sprintf("  %-10s %4d chunks  %8v  useful %8s\n",
+				o.name, o.chunks, o.latency.Round(time.Millisecond), fmtBytes(o.useful))
 		}
 	}
 	return out

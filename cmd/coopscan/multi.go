@@ -22,6 +22,7 @@ import (
 func runMulti(args []string) {
 	fs := flag.NewFlagSet("multi", flag.ExitOnError)
 	dir := fs.String("dir", "", "directory for the table files (default $TMPDIR, created on demand)")
+	dsm := fs.Bool("dsm", false, "store/open the tables column-major (DSM): queries pay only for the columns they read")
 	tables := fs.Int("tables", 2, "number of tables")
 	rows := fs.Int64("rows", 1_500_000, "rows per table when creating the files")
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the files")
@@ -52,8 +53,12 @@ func runMulti(args []string) {
 		if base == "" {
 			base = os.TempDir()
 		}
-		path := filepath.Join(base, fmt.Sprintf("coopscan-multi-%d-%d-%d-t%d.tbl", *rows, *tpc, *seed, i))
-		tf, err := openOrCreate(path, *rows, *tpc, *seed+uint64(i))
+		format := engine.NSM
+		if *dsm {
+			format = engine.DSM
+		}
+		path := filepath.Join(base, fmt.Sprintf("coopscan-multi-%s-%d-%d-%d-t%d.tbl", format, *rows, *tpc, *seed, i))
+		tf, err := openOrCreate(path, format, *rows, *tpc, *seed+uint64(i))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 			os.Exit(1)
@@ -65,8 +70,8 @@ func runMulti(args []string) {
 	for _, tf := range tfs {
 		footprint += int64(tf.NumChunks()) * tf.ChunkBytes()
 	}
-	fmt.Printf("tables: %d × %d rows (%d chunks × %s each, %s total)\n",
-		*tables, *rows, tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
+	fmt.Printf("tables: %d × %d rows (%s, %d chunks × %s each, %s total)\n",
+		*tables, *rows, tfs[0].Format(), tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
 	fmt.Printf("workload: %d streams × %d queries per table, %s shared buffer, in-flight depth %d, stagger %v\n\n",
 		*streams, *queries, fmtBytes(*bufferMB<<20), *inflight, *stagger)
 
@@ -82,12 +87,13 @@ func runMulti(args []string) {
 
 // multiResult is one policy's outcome across all tables.
 type multiResult struct {
-	policy    core.Policy
-	total     time.Duration
-	perTable  [][]liveOutcome
-	stats     engine.ServerStats
-	realBytes int64
-	verbose   bool
+	policy      core.Policy
+	total       time.Duration
+	perTable    [][]liveOutcome
+	stats       engine.ServerStats
+	realBytes   int64
+	usefulBytes int64
+	verbose     bool
 }
 
 func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, measureSched, verbose bool) (*multiResult, error) {
@@ -120,13 +126,14 @@ func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64,
 				time.Sleep(time.Duration(s) * stagger)
 				for _, q := range plan[s] {
 					qStart := time.Now()
-					st, err := srv.Scan(table, q.Name, q.Ranges, liveOnChunk(q.Slow))
+					st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
 					mu.Lock()
 					if err != nil && firstErr == nil {
 						firstErr = err
 					}
 					res.perTable[table] = append(res.perTable[table], liveOutcome{
 						name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
+						useful: st.BytesUseful,
 					})
 					mu.Unlock()
 				}
@@ -139,8 +146,12 @@ func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64,
 		return nil, firstErr
 	}
 	res.stats = srv.Stats()
-	// The files share one geometry (same -rows/-tuples-per-chunk flags).
-	res.realBytes = int64(res.stats.Pool.Misses) * tfs[0].StripeBytes()
+	res.realBytes = res.stats.Pool.BytesLoaded
+	for _, outs := range res.perTable {
+		for _, o := range outs {
+			res.usefulBytes += o.useful
+		}
+	}
 	for table := range res.perTable {
 		sort.Slice(res.perTable[table], func(i, j int) bool {
 			return res.perTable[table][i].name < res.perTable[table][j].name
@@ -166,9 +177,10 @@ func (r *multiResult) String() string {
 		avg = sum / time.Duration(n)
 	}
 	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
-	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  read %8s (%.0f MiB/s)\n",
+	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  read %8s (%.0f MiB/s)  useful %8s (%.2fx)\n",
 		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond),
-		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw)
+		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw,
+		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
 	var schedNanos, schedCalls int64
 	for _, ts := range r.stats.Tables {
 		schedNanos += ts.SchedNanos
@@ -180,20 +192,22 @@ func (r *multiResult) String() string {
 	}
 	for table, outs := range r.perTable {
 		var tSum, tMax time.Duration
+		var tUseful int64
 		for _, o := range outs {
 			tSum += o.latency
 			if o.latency > tMax {
 				tMax = o.latency
 			}
+			tUseful += o.useful
 		}
 		tAvg := time.Duration(0)
 		if len(outs) > 0 {
 			tAvg = tSum / time.Duration(len(outs))
 		}
 		ts := r.stats.Tables[table]
-		out += fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  budget %s\n",
+		out += fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  useful %8s  budget %s\n",
 			ts.Name, tAvg.Round(time.Millisecond), tMax.Round(time.Millisecond),
-			ts.ABM.Loads, ts.ABM.Evictions, fmtBytes(ts.ABM.BytesRead), fmtBytes(ts.BudgetBytes))
+			ts.ABM.Loads, ts.ABM.Evictions, fmtBytes(ts.ABM.BytesRead), fmtBytes(tUseful), fmtBytes(ts.BudgetBytes))
 		if r.verbose {
 			for _, o := range outs {
 				out += fmt.Sprintf("    %-10s %4d chunks  %8v\n", o.name, o.chunks, o.latency.Round(time.Millisecond))

@@ -50,11 +50,15 @@ var ErrNoFrame = errors.New("bufferpool: all frames pinned")
 // Reader loads the contents of a page from the underlying store.
 type Reader func(id PageID) ([]byte, error)
 
-// Stats counts pool activity.
+// Stats counts pool activity. BytesLoaded sums the sizes of the pages read
+// on misses — with per-column pages of different sizes (DSM tables store a
+// wide filler column next to narrow ones), it is the byte-accurate "real
+// I/O" counter that Misses × page-size used to approximate.
 type Stats struct {
-	Hits      int
-	Misses    int
-	Evictions int
+	Hits        int
+	Misses      int
+	Evictions   int
+	BytesLoaded int64
 }
 
 type frame struct {
@@ -127,6 +131,7 @@ func (p *Pool) Pin(id PageID) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bufferpool: load page %d: %w", id, err)
 	}
+	p.stats.BytesLoaded += int64(len(data))
 	f := &frame{id: id, data: data, pins: 1, lastUsed: p.tick, loadedAt: p.tick, refBit: true}
 	p.frames[id] = f
 	p.order = append(p.order, f)

@@ -118,6 +118,32 @@ func (a *ABM) SetChunkCost(c float64) {
 // engine releases the part's pinned buffer-pool pages there.
 func (a *ABM) SetEvictHook(h func(chunk, col int)) { a.onEvict = h }
 
+// MarkAssembling protects the parts of (chunk, cols) from eviction while a
+// load of that chunk is being prepared — the paper's §6.2 rule that "the
+// already-loaded part of the chunk is marked as used, which prohibits its
+// eviction". The live engine wraps the EnsureSpace call between a load
+// decision and its BeginLoad in a Mark/Unmark pair: a DSM chunk can be
+// partially resident, and an eviction pass that victimised the resident
+// sibling columns would silently widen the load beyond the space just
+// ensured (the cold-byte count was taken before the pass). The simulator's
+// demand-scan path (ensureChunkDemand) uses the same marks.
+func (a *ABM) MarkAssembling(c int, cols storage.ColSet) {
+	var kb [storage.MaxColumns]partKey
+	for _, k := range a.cache.partsInto(kb[:0], a.colsOrNSM(cols), c) {
+		a.assembling[k]++
+	}
+}
+
+// UnmarkAssembling releases MarkAssembling's eviction protection.
+func (a *ABM) UnmarkAssembling(c int, cols storage.ColSet) {
+	var kb [storage.MaxColumns]partKey
+	for _, k := range a.cache.partsInto(kb[:0], a.colsOrNSM(cols), c) {
+		if a.assembling[k]--; a.assembling[k] == 0 {
+			delete(a.assembling, k)
+		}
+	}
+}
+
 // BeginLoad marks the absent parts of the decision's chunk as loading and
 // reserves their buffer space; the caller then performs the reads through
 // its own substrate (the engine's page pool knows better than the ABM
@@ -125,12 +151,21 @@ func (a *ABM) SetEvictHook(h func(chunk, col int)) { a.onEvict = h }
 // (requests, bytes, per-query attribution) happens here, mirroring the
 // simulation's loadParts. The caller must have ensured space
 // (FreeBytes() >= ColdBytes) and must call FinishLoad after the reads
-// complete.
-func (a *ABM) BeginLoad(d LoadDecision) {
+// complete, with the decision's Cols narrowed to the returned set.
+//
+// The return value is the column set of the parts this call transitioned
+// to loading (zero for NSM, whose single pseudo-column part is implied).
+// With several loads in flight, a DSM decision can name a column another
+// in-flight load is already reading (the policies only require that *some*
+// part of the chunk still needs I/O); the caller must read and FinishLoad
+// only the parts it marked, or it would commit a sibling load's columns
+// before their reads landed.
+func (a *ABM) BeginLoad(d LoadDecision) storage.ColSet {
 	cols := a.colsOrNSM(d.Cols)
 	var kb [storage.MaxColumns]partKey
 	keys := a.cache.partsInto(kb[:0], cols, d.Chunk)
 	sortPartsBySize(a.cache, keys)
+	var marked storage.ColSet
 	for _, k := range keys {
 		if a.cache.state(k) != partAbsent {
 			continue
@@ -144,13 +179,17 @@ func (a *ABM) BeginLoad(d LoadDecision) {
 			}
 		}
 		a.cache.beginLoad(k, a.clock.Now())
+		if k.col >= 0 {
+			marked = marked.Add(k.col)
+		}
 	}
+	return marked
 }
 
 // FinishLoad transitions the parts BeginLoad marked to resident and
-// propagates availability to the interested queries. Only the single
-// scheduler goroutine issues loads, so the loading parts of (chunk, cols)
-// are exactly the ones BeginLoad marked.
+// propagates availability to the interested queries. Callers with several
+// loads in flight must pass the decision with Cols narrowed to BeginLoad's
+// return value, so a job never commits parts a sibling job is reading.
 func (a *ABM) FinishLoad(d LoadDecision) {
 	cols := a.colsOrNSM(d.Cols)
 	var kb [storage.MaxColumns]partKey

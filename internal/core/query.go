@@ -140,6 +140,12 @@ type Stats struct {
 	Chunks    int     // chunks consumed
 	IOs       int     // disk requests issued on this query's behalf
 	BytesRead int64   // bytes those requests transferred
+	// BytesUseful is the logical footprint of the data the query actually
+	// consumed: delivered tuples × the width of its column projection. The
+	// live engine fills it in (the simulator leaves it zero); read / useful
+	// is the I/O amplification a row-wise layout pays for a narrow
+	// projection.
+	BytesUseful int64
 }
 
 // Latency returns Done-Enter.

@@ -62,11 +62,14 @@ func New(tf *TableFile, cfg Config) (*Engine, error) {
 
 // Scan executes one cooperative scan over the given chunk ranges in the
 // calling goroutine, invoking onChunk for every delivered chunk in the
-// policy's delivery order (out-of-order for elevator/relevance). It blocks
-// until the scan has consumed its whole range and returns the query's
-// statistics (times are wall-clock seconds since engine start).
-func (e *Engine) Scan(name string, ranges storage.RangeSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
-	return e.srv.Scan(0, name, ranges, onChunk)
+// policy's delivery order (out-of-order for elevator/relevance). cols is
+// the scan's projection: on a DSM table only those columns are loaded and
+// delivered; on an NSM table the whole chunk is loaded but the projection
+// still drives the useful-bytes accounting. It blocks until the scan has
+// consumed its whole range and returns the query's statistics (times are
+// wall-clock seconds since engine start).
+func (e *Engine) Scan(name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	return e.srv.Scan(0, name, ranges, cols, onChunk)
 }
 
 // Stats returns the engine's counters at both accounting layers.

@@ -44,7 +44,7 @@ func TestEngineSingleScanAllPolicies(t *testing.T) {
 			defer eng.Close()
 			var got exec.Q6Result
 			delivered := 0
-			st, err := eng.Scan("q6", rangeSet(0, tf.NumChunks()), func(c int, d ChunkData) {
+			st, err := eng.Scan("q6", rangeSet(0, tf.NumChunks()), Q6Cols(), func(c int, d ChunkData) {
 				got.Add(Q6Chunk(d, exec.DefaultQ6()))
 				delivered++
 			})
@@ -96,7 +96,7 @@ func TestEngineConcurrentStreams(t *testing.T) {
 				go func() {
 					defer wg.Done()
 					var got exec.Q6Result
-					st, err := eng.Scan(fmt.Sprintf("s%d", s), rangeSet(start, end), func(c int, d ChunkData) {
+					st, err := eng.Scan(fmt.Sprintf("s%d", s), rangeSet(start, end), Q6Cols(), func(c int, d ChunkData) {
 						got.Add(Q6Chunk(d, exec.DefaultQ6()))
 					})
 					if err != nil {
@@ -138,7 +138,7 @@ func TestEngineEvictionUnderPressure(t *testing.T) {
 		want.Add(r)
 	}
 	var got exec.Q6Result
-	if _, err := eng.Scan("tight", rangeSet(0, tf.NumChunks()), func(c int, d ChunkData) {
+	if _, err := eng.Scan("tight", rangeSet(0, tf.NumChunks()), Q6Cols(), func(c int, d ChunkData) {
 		got.Add(Q6Chunk(d, exec.DefaultQ6()))
 	}); err != nil {
 		t.Fatalf("Scan: %v", err)
@@ -163,7 +163,7 @@ func TestEngineCloseUnblocksScan(t *testing.T) {
 	proceed := make(chan struct{})
 	scanErr := make(chan error, 1)
 	go func() {
-		_, err := eng.Scan("victim", rangeSet(0, tf.NumChunks()), func(c int, d ChunkData) {
+		_, err := eng.Scan("victim", rangeSet(0, tf.NumChunks()), Q6Cols(), func(c int, d ChunkData) {
 			if c == 0 {
 				firstChunk <- struct{}{}
 				<-proceed

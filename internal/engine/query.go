@@ -4,32 +4,64 @@ import (
 	"encoding/binary"
 
 	"coopscan/internal/exec"
+	"coopscan/internal/storage"
 )
+
+// Q6Cols returns the column set the FAST (TPC-H Q6) kernel reads: 4 of the
+// NumCols stored columns, 32 of the 112 stored bytes per tuple — the
+// projection a DSM table turns directly into an I/O saving.
+func Q6Cols() storage.ColSet {
+	return storage.Cols(ColShipDate, ColQuantity, ColExtendedPrice, ColDiscount)
+}
+
+// Q1Cols returns the column set the SLOW (TPC-H Q1) kernel reads.
+func Q1Cols() storage.ColSet {
+	return storage.Cols(ColShipDate, ColQuantity, ColExtendedPrice, ColDiscount,
+		ColTax, ColReturnFlag, ColLineStatus)
+}
+
+// ProjectionBytes returns the per-tuple width of a column projection: the
+// useful bytes one delivered tuple carries for a query reading cols.
+func ProjectionBytes(cols storage.ColSet) int64 {
+	var w int64
+	cols.Each(func(col int) { w += colWidths[col] })
+	return w
+}
 
 // ChunkData is one delivered chunk's contents: the pinned column stripes of
 // a resident chunk, valid for the duration of the OnChunk callback (the
 // ABM's pins guarantee the underlying buffer-pool pages cannot be evicted
-// while the query processes them).
+// while the query processes them). Only the columns the scan declared are
+// populated — on a DSM table the other columns were never read from disk.
 type ChunkData struct {
-	stripes [][]byte // NumCols stripes, from the chunk's ChunkView
-	tuples  int64    // valid rows in this chunk (the last chunk is short)
+	stripes [][]byte       // indexed by column; nil when not delivered
+	cols    storage.ColSet // the delivered columns
+	tuples  int64          // valid rows in this chunk (the last chunk is short)
 }
 
 // Tuples returns the number of valid rows in the chunk.
 func (d ChunkData) Tuples() int64 { return d.tuples }
 
-// Int64 returns row i of the stored column col.
+// Cols returns the delivered column set.
+func (d ChunkData) Cols() storage.ColSet { return d.cols }
+
+// Has reports whether column col was delivered.
+func (d ChunkData) Has(col int) bool { return d.cols.Has(col) }
+
+// Int64 returns row i of the stored 8-byte column col (not the comment
+// filler, whose tuples are wider).
 func (d ChunkData) Int64(col int, i int64) int64 {
 	return int64(binary.LittleEndian.Uint64(d.stripes[col][i*8:]))
 }
 
-// Col returns the raw little-endian stripe of a stored column.
+// Col returns the raw little-endian stripe of a stored column (nil if the
+// column was not delivered).
 func (d ChunkData) Col(col int) []byte { return d.stripes[col] }
 
 // Q6Chunk evaluates the FAST query (TPC-H Q6) over one delivered chunk,
 // straight from the pinned buffer bytes. It computes the same aggregate as
 // exec.Q6Chunk does over the generator, so live results can be verified
-// against the simulation substrate.
+// against the simulation substrate. The chunk must carry Q6Cols.
 func Q6Chunk(d ChunkData, pred exec.Q6Predicate) exec.Q6Result {
 	dates, disc := d.Col(ColShipDate), d.Col(ColDiscount)
 	qty, price := d.Col(ColQuantity), d.Col(ColExtendedPrice)
@@ -49,7 +81,7 @@ func Q6Chunk(d ChunkData, pred exec.Q6Predicate) exec.Q6Result {
 
 // Q1Chunk evaluates the SLOW query (TPC-H Q1 with extraArith rounds of
 // additional arithmetic per row) over one delivered chunk, mirroring
-// exec.Q1Chunk.
+// exec.Q1Chunk. The chunk must carry Q1Cols.
 func Q1Chunk(d ChunkData, dateMax int64, extraArith int) exec.Q1Result {
 	res := make(exec.Q1Result, 4)
 	for i := int64(0); i < d.tuples; i++ {

@@ -14,8 +14,23 @@ import (
 // ErrClosed is returned by Scan when the engine shuts down mid-scan.
 var ErrClosed = errors.New("engine: closed")
 
-// pageStride namespaces buffer-pool PageIDs per table: table t's stripe s
-// has the global id t*pageStride + s. One pool serves every table — the
+// Scan argument validation errors; test with errors.Is. A scan that names a
+// table the server does not serve, a range beyond the table, or a column
+// set the table does not store is rejected up front with one of these — it
+// never registers with an ABM, so it cannot wedge the scheduler or silently
+// scan nothing.
+var (
+	// ErrUnknownTable: the table index is not served by this server.
+	ErrUnknownTable = errors.New("engine: unknown table")
+	// ErrInvalidRange: the range set is empty or extends beyond the table.
+	ErrInvalidRange = errors.New("engine: invalid scan range")
+	// ErrInvalidColumns: the column set is empty or names columns the table
+	// does not store.
+	ErrInvalidColumns = errors.New("engine: invalid column set")
+)
+
+// pageStride namespaces buffer-pool PageIDs per table: table t's page p
+// has the global id t*pageStride + p. One pool serves every table — the
 // paper's premise that all scans compete for a single underlying buffer
 // manager — and the stride keeps per-table page spaces disjoint (no real
 // table comes near 2^40 stripes).
@@ -82,31 +97,54 @@ type ServerStats struct {
 	Pool   bufferpool.Stats
 }
 
+// partID identifies one pinned unit in a table's view map: a (chunk,
+// column) part in DSM, the whole chunk (col == -1) in NSM — mirroring the
+// ABM's part keys, so the evict hook's (chunk, col) maps directly to the
+// view to release.
+type partID struct{ chunk, col int }
+
 // serverTable is one attached table: its file, its live ABM (own chunk map,
 // query registry and policy state, per the paper's §7.1 "separate
-// statistics and meta-data for each" table) and its pinned chunk views.
+// statistics and meta-data for each" table) and its pinned part views.
 type serverTable struct {
 	idx  int
 	tf   *TableFile
 	abm  *core.ABM
 	pol  core.SchedulerPolicy
 	name string
-	// views maps each ABM-resident chunk to its pinned page range in the
-	// shared pool.
-	views map[int]*bufferpool.ChunkView
+	// views maps each ABM-resident part to its pinned page range in the
+	// shared pool: one view per NSM chunk, one view per DSM (chunk, column)
+	// part — so a column part can be evicted (view released) while a
+	// sibling column of the same chunk stays pinned and resident.
+	views map[partID]*bufferpool.ChunkView
 }
 
-// pageBase returns the global id of chunk c's first stripe.
-func (t *serverTable) pageBase(c int) bufferpool.PageID {
-	return bufferpool.PageID(int64(t.idx)*pageStride + int64(c*NumCols))
+// partPages returns the global pool-page run backing one part.
+func (t *serverTable) partPages(chunk, col int) (first bufferpool.PageID, count int) {
+	f, n := t.tf.PartPages(chunk, col)
+	return bufferpool.PageID(int64(t.idx)*pageStride + f), n
+}
+
+// eachPart invokes fn for every ABM part of a load job: the single
+// pseudo-column part in NSM, one part per marked column in DSM.
+func (t *serverTable) eachPart(marked storage.ColSet, fn func(col int)) {
+	if t.tf.Format() == NSM {
+		fn(-1)
+		return
+	}
+	marked.Each(fn)
 }
 
 // loadJob is one issued load travelling from the scheduler to a worker: the
 // decision is already committed and its buffer space reserved (BeginLoad),
 // so the worker only performs the file reads and lands the completion.
+// marked is the column set BeginLoad actually transitioned to loading (zero
+// for NSM); the worker reads, pins and finishes exactly those parts, so an
+// overlapping in-flight load of a sibling column is never committed early.
 type loadJob struct {
 	t       *serverTable
 	d       core.LoadDecision
+	marked  storage.ColSet
 	missing []bufferpool.PageID
 }
 
@@ -131,8 +169,15 @@ func (w wallClock) Now() float64 { return time.Since(w.start).Seconds() }
 // single-load engine enforced, now held for every member of the in-flight
 // set.
 //
+// Tables are NSM or DSM per file. On an NSM table a load is the whole
+// chunk; on a DSM table a load is the per-column extents of the decision's
+// column set (the relevance policy loads the union of the overlapping
+// starved queries' columns, Figure 11), each extent read with one
+// positioned read and pinned as its own view — so queries pay only for the
+// columns they project, and eviction retires column parts independently.
+//
 // All shared state (the ABMs, the policy state, the shared page pool, the
-// chunk views and the budget arbiter) is guarded by mu; workers drop the
+// part views and the budget arbiter) is guarded by mu; workers drop the
 // lock for the real file reads and queries drop it while processing
 // delivered chunks, so decision making, I/O depth and query CPU all
 // overlap.
@@ -175,11 +220,13 @@ type Server struct {
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 
-	// stripeBufs recycles page buffers per stripe size: the pool's evict
+	// stripeBufs recycles page buffers per page size: the pool's evict
 	// observer feeds frames back, workers draw read buffers out. At steady
 	// state (pool full, every load evicting) the read path allocates
 	// nothing, which matters on the multi-table bench where stripe churn
-	// is hundreds of MiB per run.
+	// is hundreds of MiB per run. Coalesced multi-page reads allocate one
+	// slab and sub-slice it; the sub-slices recycle like any other page
+	// buffer of their size.
 	stripeBufs map[int64]*sync.Pool
 
 	// loadHook, when set (tests only), runs in a worker goroutine between
@@ -191,7 +238,8 @@ type Server struct {
 // NewServer creates a server over the given table files and starts its
 // scheduler and load workers. Close must be called to stop them. The table
 // files are adopted in the given order (their index is the Scan table
-// argument) but remain owned by the caller.
+// argument) but remain owned by the caller. NSM and DSM tables mix freely
+// under the one shared budget.
 func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	if len(tfs) == 0 {
 		return nil, errors.New("engine: NewServer with no tables")
@@ -200,11 +248,13 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 		cfg.InFlightDepth = defaultInFlightDepth
 	}
 	var floor int64
-	minStripe := tfs[0].StripeBytes()
+	minPage := tfs[0].ColStripeBytes(0)
 	for _, tf := range tfs {
 		floor += 2 * tf.ChunkBytes()
-		if s := tf.StripeBytes(); s < minStripe {
-			minStripe = s
+		for j := 0; j < NumCols; j++ {
+			if s := tf.ColStripeBytes(j); s < minPage {
+				minPage = s
+			}
 		}
 	}
 	if cfg.BufferBytes < floor {
@@ -226,35 +276,40 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	})
 	for i, tf := range tfs {
 		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
-		t := &serverTable{idx: i, tf: tf, name: name, views: make(map[int]*bufferpool.ChunkView)}
+		t := &serverTable{idx: i, tf: tf, name: name, views: make(map[partID]*bufferpool.ChunkView)}
 		// Every table starts at its two-chunk floor; the arbiter grants the
 		// rest of the budget by demand as soon as streams register.
 		t.abm = s.mgr.AttachAs(name, tf.Layout(), 2*tf.ChunkBytes())
 		// Normalise relevance waiting time by a ~1 GB/s chunk load.
 		t.abm.SetChunkCost(float64(tf.ChunkBytes()) / 1e9)
 		t.pol = t.abm.Policy()
-		t.abm.SetEvictHook(func(chunk, _ int) {
-			// The ABM evicted the (NSM) chunk part: release the chunk's
-			// pinned page range so the shared pool may reuse the frames.
-			// Runs under mu, from an EnsureSpace inside the scheduler.
-			if v := t.views[chunk]; v != nil {
+		t.abm.SetEvictHook(func(chunk, col int) {
+			// The ABM evicted one part — an NSM chunk (col -1) or a DSM
+			// column part: release its pinned page range so the shared pool
+			// may reuse the frames. Sibling columns of the same chunk keep
+			// their own views. Runs under mu, from an EnsureSpace inside
+			// the scheduler.
+			k := partID{chunk: chunk, col: col}
+			if v := t.views[k]; v != nil {
 				v.Release()
-				delete(t.views, chunk)
+				delete(t.views, k)
 			}
 		})
 		s.tables = append(s.tables, t)
 	}
 	s.mgr.Rebalance(cfg.BufferBytes)
 	// The shared pool is sized for the whole budget (in frames of the
-	// smallest stripe), plus slack for the arbiter's integer-rounding
+	// smallest page), plus slack for the arbiter's integer-rounding
 	// crumbs and the in-flight loads' staging turnover.
-	frames := int(cfg.BufferBytes/minStripe) + cfg.InFlightDepth*NumCols + len(tfs)
+	frames := int(cfg.BufferBytes/minPage) + cfg.InFlightDepth*NumCols + len(tfs)
 	s.pool = bufferpool.New(frames, bufferpool.LRU, s.readPage)
 	s.stripeBufs = make(map[int64]*sync.Pool)
 	for _, tf := range tfs {
-		size := tf.StripeBytes()
-		if _, ok := s.stripeBufs[size]; !ok {
-			s.stripeBufs[size] = &sync.Pool{New: func() any { return make([]byte, size) }}
+		for j := 0; j < NumCols; j++ {
+			size := tf.ColStripeBytes(j)
+			if _, ok := s.stripeBufs[size]; !ok {
+				s.stripeBufs[size] = &sync.Pool{New: func() any { return make([]byte, size) }}
+			}
 		}
 	}
 	s.pool.SetEvictObserver(func(_ bufferpool.PageID, data []byte) {
@@ -273,7 +328,7 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 // readPage is the shared pool's miss handler. Workers pre-read cold pages
 // outside the server lock and park them in staging; the synchronous
 // fallback below is reachable only when PinRange itself victimises a
-// not-yet-pinned resident page of the very chunk it is pinning (the
+// not-yet-pinned resident page of the very part it is pinning (the
 // worker's pre-commit probe catches every earlier eviction), so it reads
 // at most a page or two, rarely.
 func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
@@ -282,8 +337,9 @@ func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
 		return b, nil
 	}
 	t := s.tables[int(int64(id)/pageStride)]
-	buf := s.stripeBufs[t.tf.StripeBytes()].Get().([]byte)
-	if err := t.tf.ReadStripe(int64(id)%pageStride, buf); err != nil {
+	local := int64(id) % pageStride
+	buf := s.stripeBufs[t.tf.PageBytes(local)].Get().([]byte)
+	if err := t.tf.ReadPage(local, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -371,24 +427,35 @@ func (s *Server) issueOne() bool {
 			continue
 		}
 		need := t.abm.ColdBytes(d.Chunk, d.Cols)
-		if need > 0 && t.abm.FreeBytes() < need && !t.pol.EnsureSpace(need, d.Query) {
-			// Everything evictable in this table is pinned or protected:
-			// skip it until a release, but let other tables proceed.
-			continue
-		}
-		t.pol.CommitLoad(d)
-		t.abm.BeginLoad(d)
-		first := t.pageBase(d.Chunk)
-		var missing []bufferpool.PageID
-		for id := first; id < first+NumCols; id++ {
-			if !s.pool.Contains(id) {
-				missing = append(missing, id)
+		if need > 0 && t.abm.FreeBytes() < need {
+			// Shield the chunk's resident sibling parts while evicting: a
+			// DSM chunk can be partially resident, and victimising those
+			// parts would widen the load beyond the `need` just ensured
+			// (the §6.2 mark-as-used rule; see core.MarkAssembling).
+			t.abm.MarkAssembling(d.Chunk, d.Cols)
+			ok := t.pol.EnsureSpace(need, d.Query)
+			t.abm.UnmarkAssembling(d.Chunk, d.Cols)
+			if !ok {
+				// Everything evictable in this table is pinned or protected:
+				// skip it until a release, but let other tables proceed.
+				continue
 			}
 		}
+		t.pol.CommitLoad(d)
+		marked := t.abm.BeginLoad(d)
+		var missing []bufferpool.PageID
+		t.eachPart(marked, func(col int) {
+			first, count := t.partPages(d.Chunk, col)
+			for id := first; id < first+bufferpool.PageID(count); id++ {
+				if !s.pool.Contains(id) {
+					missing = append(missing, id)
+				}
+			}
+		})
 		s.inFlight++
 		s.rr = (i + 1) % n
 		// Never blocks: inFlight < depth == cap(loadCh) and workers drain.
-		s.loadCh <- loadJob{t: t, d: d, missing: missing}
+		s.loadCh <- loadJob{t: t, d: d, marked: marked, missing: missing}
 		return true
 	}
 	return false
@@ -396,7 +463,7 @@ func (s *Server) issueOne() bool {
 
 // worker executes issued loads: the real file reads happen without the
 // server lock, then the completion — staging the bytes into the pool,
-// pinning the chunk's page range and FinishLoad — commits under it.
+// pinning the marked parts' page ranges and FinishLoad — commits under it.
 // Completions land in read-completion order, not issue order; the ABM's
 // part states (marked loading at issue) keep the two decoupled.
 func (s *Server) worker() {
@@ -416,7 +483,6 @@ func (s *Server) worker() {
 		for id, b := range bufs {
 			s.staging[id] = b
 		}
-		first := job.t.pageBase(job.d.Chunk)
 		// Pages resident at issue time may have been pool-evicted while the
 		// read was in flight (they are unpinned, so prime LRU victims under
 		// load churn). Re-read any such page without the lock — and under
@@ -424,11 +490,14 @@ func (s *Server) worker() {
 		// below stays free of synchronous I/O.
 		for {
 			var gone []bufferpool.PageID
-			for id := first; id < first+NumCols; id++ {
-				if _, staged := s.staging[id]; !staged && !s.pool.Contains(id) {
-					gone = append(gone, id)
+			job.t.eachPart(job.marked, func(col int) {
+				first, count := job.t.partPages(job.d.Chunk, col)
+				for id := first; id < first+bufferpool.PageID(count); id++ {
+					if _, staged := s.staging[id]; !staged && !s.pool.Contains(id) {
+						gone = append(gone, id)
+					}
 				}
-			}
+			})
 			if len(gone) == 0 {
 				break
 			}
@@ -448,48 +517,99 @@ func (s *Server) worker() {
 			s.mu.Unlock()
 			continue
 		}
-		view, err := s.pool.PinRange(first, first+NumCols)
-		if err != nil {
-			s.fail(fmt.Errorf("engine: pin %s chunk %d: %w", job.t.name, job.d.Chunk, err))
+		pinErr := false
+		job.t.eachPart(job.marked, func(col int) {
+			if pinErr {
+				return
+			}
+			first, count := job.t.partPages(job.d.Chunk, col)
+			view, err := s.pool.PinRange(first, first+bufferpool.PageID(count))
+			if err != nil {
+				s.fail(fmt.Errorf("engine: pin %s chunk %d col %d: %w", job.t.name, job.d.Chunk, col, err))
+				pinErr = true
+				return
+			}
+			job.t.views[partID{chunk: job.d.Chunk, col: col}] = view
+		})
+		if pinErr {
 			s.mu.Unlock()
 			continue
 		}
-		job.t.views[job.d.Chunk] = view
-		job.t.abm.FinishLoad(job.d)
+		// Commit only the parts this job marked: a sibling in-flight load
+		// of the same chunk's other columns finishes its own parts.
+		fin := job.d
+		fin.Cols = job.marked
+		job.t.abm.FinishLoad(fin)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
 }
 
 // readMissing reads the listed pages from the table file into recycled
-// stripe buffers (one positioned read per stripe; consecutive stripes are
-// sequential on disk, so the kernel's readahead still sees one contiguous
-// region per chunk). Called without the server lock; multiple workers read
-// concurrently through ReadAt.
+// page buffers. Runs of consecutive page indexes — an NSM chunk's stripes,
+// or the multi-stripe extent of a wide DSM column — are coalesced into a
+// single positioned read (one slab, sub-sliced per page), so a part load
+// costs one pread per on-disk extent rather than one per stripe. Called
+// without the server lock; multiple workers read concurrently through
+// ReadAt.
 func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[bufferpool.PageID][]byte, error) {
 	if len(missing) == 0 {
 		return nil, nil
 	}
-	bufs := s.stripeBufs[t.tf.StripeBytes()]
 	out := make(map[bufferpool.PageID][]byte, len(missing))
-	for _, id := range missing {
-		start := time.Now()
-		buf := bufs.Get().([]byte)
-		if err := t.tf.ReadStripe(int64(id)%pageStride, buf); err != nil {
-			return nil, fmt.Errorf("engine: read %s page %d: %w", t.name, id, err)
+	for i := 0; i < len(missing); {
+		j := i + 1
+		for j < len(missing) && missing[j] == missing[j-1]+1 {
+			j++
 		}
-		out[id] = buf
-		if bw := s.cfg.ReadBandwidth; bw > 0 {
-			// Device model: this load stream moves at bw bytes/s; sleep off
-			// whatever the page cache served faster than that.
-			if budget := time.Duration(float64(len(buf)) / float64(bw) * float64(time.Second)); budget > 0 {
-				if spent := time.Since(start); spent < budget {
-					time.Sleep(budget - spent)
-				}
+		if err := s.readRun(t, missing[i:j], out); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// readRun reads one run of consecutive pages: a single page draws its
+// buffer from the recycle pool; a longer run is one coalesced positioned
+// read into a slab whose per-page sub-slices enter the recycle economy on
+// eviction like any other page buffer.
+func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[bufferpool.PageID][]byte) error {
+	start := time.Now()
+	first := int64(run[0]) % pageStride
+	var total int64
+	if len(run) == 1 {
+		total = t.tf.PageBytes(first)
+		buf := s.stripeBufs[total].Get().([]byte)
+		if err := t.tf.ReadPage(first, buf); err != nil {
+			return fmt.Errorf("engine: read %s page %d: %w", t.name, first, err)
+		}
+		out[run[0]] = buf
+	} else {
+		for _, id := range run {
+			total += t.tf.PageBytes(int64(id) % pageStride)
+		}
+		slab := make([]byte, total)
+		if err := t.tf.ReadPageRange(first, len(run), slab); err != nil {
+			return fmt.Errorf("engine: read %s pages [%d,%d): %w", t.name, first, first+int64(len(run)), err)
+		}
+		var off int64
+		for _, id := range run {
+			n := t.tf.PageBytes(int64(id) % pageStride)
+			out[id] = slab[off : off+n : off+n]
+			off += n
+		}
+	}
+	if bw := s.cfg.ReadBandwidth; bw > 0 {
+		// Device model: this load stream moves at bw bytes/s; sleep off
+		// whatever the page cache served faster than that.
+		if budget := time.Duration(float64(total) / float64(bw) * float64(time.Second)); budget > 0 {
+			if spent := time.Since(start); spent < budget {
+				time.Sleep(budget - spent)
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // fail records a fatal error and wakes everyone. Callers hold mu.
@@ -510,24 +630,44 @@ func (s *Server) Table(i int) *TableFile { return s.tables[i].tf }
 // Scan executes one cooperative scan over the given chunk ranges of table
 // `table` in the calling goroutine, invoking onChunk for every delivered
 // chunk in the policy's delivery order (out-of-order for elevator and
-// relevance). It blocks until the scan has consumed its whole range and
-// returns the query's statistics (times are wall-clock seconds since
-// server start).
-func (s *Server) Scan(table int, name string, ranges storage.RangeSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+// relevance). cols is the scan's projection: on a DSM table only those
+// columns are loaded, delivered and paid for; on an NSM table the whole
+// chunk is loaded regardless (and delivered in full), but the declared
+// projection still drives the useful-bytes accounting in the returned
+// stats. It blocks until the scan has consumed its whole range and returns
+// the query's statistics (times are wall-clock seconds since server
+// start).
+func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
 	if table < 0 || table >= len(s.tables) {
-		return core.Stats{}, fmt.Errorf("engine: scan %q over unknown table %d", name, table)
+		return core.Stats{}, fmt.Errorf("%w: scan %q over table %d of %d", ErrUnknownTable, name, table, len(s.tables))
 	}
 	t := s.tables[table]
 	// Validate before touching shared state: core.NewQuery panics on these,
 	// and a panic while holding s.mu would wedge the whole server.
 	if ranges.Empty() {
-		return core.Stats{}, fmt.Errorf("engine: scan %q over empty range set", name)
+		return core.Stats{}, fmt.Errorf("%w: scan %q over empty range set", ErrInvalidRange, name)
+	}
+	if min := ranges.Min(); min < 0 {
+		return core.Stats{}, fmt.Errorf("%w: scan %q range %v starts below zero", ErrInvalidRange, name, ranges)
 	}
 	if ranges.Max() >= t.tf.NumChunks() {
-		return core.Stats{}, fmt.Errorf("engine: scan %q range %v beyond table (%d chunks)", name, ranges, t.tf.NumChunks())
+		return core.Stats{}, fmt.Errorf("%w: scan %q range %v beyond table (%d chunks)", ErrInvalidRange, name, ranges, t.tf.NumChunks())
 	}
+	if cols.Empty() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q declares no columns", ErrInvalidColumns, name)
+	}
+	if bad := cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, name, bad, NumCols)
+	}
+	dsm := t.tf.Format() == DSM
+	projBytes := ProjectionBytes(cols)
+	var scratch [][]byte
+	if dsm {
+		scratch = make([][]byte, NumCols)
+	}
+	var useful int64
 	s.mu.Lock()
-	q := t.abm.NewQuery(name, ranges, 0)
+	q := t.abm.NewQuery(name, ranges, cols)
 	t.abm.Register(q)
 	s.cond.Broadcast()
 	for !q.Finished() {
@@ -538,6 +678,7 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, onChunk f
 			if err == nil {
 				err = ErrClosed
 			}
+			st.BytesUseful = useful
 			return st, err
 		}
 		c := t.pol.PickAvailable(q)
@@ -556,7 +697,19 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, onChunk f
 		// scheduler parked on a failed EnsureSpace so the next load
 		// overlaps with this chunk's processing.
 		s.cond.Broadcast()
-		data := ChunkData{stripes: t.views[c].Data, tuples: t.tf.Layout().ChunkTuples(c)}
+		tuples := t.tf.Layout().ChunkTuples(c)
+		var data ChunkData
+		if dsm {
+			// Per-column views: deliver exactly the projection.
+			cols.Each(func(col int) {
+				scratch[col] = t.views[partID{chunk: c, col: col}].Data[0]
+			})
+			data = ChunkData{stripes: scratch, cols: cols, tuples: tuples}
+		} else {
+			// The NSM chunk view's pages are the stripes in column order.
+			data = ChunkData{stripes: t.views[partID{chunk: c, col: -1}].Data, cols: storage.AllCols(NumCols), tuples: tuples}
+		}
+		useful += tuples * projBytes
 		s.mu.Unlock()
 		if onChunk != nil {
 			onChunk(c, data)
@@ -568,6 +721,7 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, onChunk f
 	st := t.abm.Finish(q)
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	st.BytesUseful = useful
 	return st, nil
 }
 
@@ -601,7 +755,7 @@ func (s *Server) Budgets() []int64 {
 	return out
 }
 
-// Close stops the scheduler and workers and releases all chunk views.
+// Close stops the scheduler and workers and releases all part views.
 // Outstanding Scans are woken and return ErrClosed. In-flight loads are
 // drained (committed) first, so the ABM state machines close coherent.
 func (s *Server) Close() error {
@@ -616,9 +770,9 @@ func (s *Server) Close() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for _, t := range s.tables {
-			for c, v := range t.views {
+			for k, v := range t.views {
 				v.Release()
-				delete(t.views, c)
+				delete(t.views, k)
 			}
 		}
 	})

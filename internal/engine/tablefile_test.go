@@ -2,80 +2,206 @@ package engine
 
 import (
 	"encoding/binary"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"coopscan/internal/exec"
+	"coopscan/internal/storage"
 	"coopscan/internal/tpch"
 )
 
-// newTestFile creates a small table file in a test temp dir.
+// newTestFile creates a small NSM table file in a test temp dir.
 func newTestFile(t testing.TB, rows, tuplesPerChunk int64, seed uint64) *TableFile {
+	return newTestFileFormat(t, NSM, rows, tuplesPerChunk, seed)
+}
+
+// newTestFileFormat creates a small table file of the given format.
+func newTestFileFormat(t testing.TB, format Format, rows, tuplesPerChunk int64, seed uint64) *TableFile {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "live.tbl")
-	tf, err := Create(path, rows, tuplesPerChunk, seed)
+	path := filepath.Join(t.TempDir(), "live-"+format.String()+".tbl")
+	tf, err := CreateFormat(path, format, rows, tuplesPerChunk, seed)
 	if err != nil {
-		t.Fatalf("Create: %v", err)
+		t.Fatalf("CreateFormat(%v): %v", format, err)
 	}
 	t.Cleanup(func() { tf.Close() })
 	return tf
 }
 
+// wantStripe renders the expected bytes of (chunk, col) straight from the
+// generators, independent of the file writer.
+func wantStripe(t testing.TB, tf *TableFile, c, j int) []byte {
+	t.Helper()
+	table := tpch.LineitemTable(1)
+	table.Rows = tf.Rows()
+	gen := tpch.NewGenerator(table, tf.Seed())
+	buf := make([]byte, tf.ColStripeBytes(j))
+	vals := make([]int64, tf.TuplesPerChunk())
+	fillStripe(gen, tf.Seed(), c, j, tf.TuplesPerChunk(), tf.Layout().ChunkTuples(c), vals, buf)
+	return buf
+}
+
 func TestTableFileRoundTrip(t *testing.T) {
 	const rows, tpc = 10_000, 1024
-	tf := newTestFile(t, rows, tpc, 42)
-	if got := tf.NumChunks(); got != 10 {
-		t.Fatalf("NumChunks = %d, want 10", got)
-	}
-	re, err := Open(tf.Path())
-	if err != nil {
-		t.Fatalf("Open: %v", err)
-	}
-	defer re.Close()
-	if re.Rows() != rows || re.TuplesPerChunk() != tpc || re.Seed() != 42 {
-		t.Fatalf("reopened meta = (%d, %d, %d)", re.Rows(), re.TuplesPerChunk(), re.Seed())
-	}
-
-	// Every stripe must hold exactly the generator's values (zero-padded in
-	// the short last chunk).
-	table := tpch.LineitemTable(1)
-	table.Rows = rows
-	gen := tpch.NewGenerator(table, 42)
-	buf := make([]byte, re.StripeBytes())
-	vals := make([]int64, tpc)
-	for c := 0; c < re.NumChunks(); c++ {
-		n := re.Layout().ChunkTuples(c)
-		for j := 0; j < NumCols; j++ {
-			if err := re.ReadStripe(int64(c*NumCols+j), buf); err != nil {
-				t.Fatalf("ReadStripe(%d,%d): %v", c, j, err)
+	for _, format := range []Format{NSM, DSM} {
+		t.Run(format.String(), func(t *testing.T) {
+			tf := newTestFileFormat(t, format, rows, tpc, 42)
+			if got := tf.NumChunks(); got != 10 {
+				t.Fatalf("NumChunks = %d, want 10", got)
 			}
-			gen.Column(tpchCols[j], int64(c)*tpc, vals[:n])
-			for i := int64(0); i < n; i++ {
-				if got := int64(binary.LittleEndian.Uint64(buf[i*8:])); got != vals[i] {
-					t.Fatalf("chunk %d col %d row %d = %d, want %d", c, j, i, got, vals[i])
+			re, err := Open(tf.Path())
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer re.Close()
+			if re.Rows() != rows || re.TuplesPerChunk() != tpc || re.Seed() != 42 || re.Format() != format {
+				t.Fatalf("reopened meta = (%d, %d, %d, %v)", re.Rows(), re.TuplesPerChunk(), re.Seed(), re.Format())
+			}
+			if format == DSM && !re.Layout().Columnar() {
+				t.Fatal("DSM file reopened with a non-columnar layout")
+			}
+
+			// Every stripe must hold exactly the generator's values
+			// (zero-padded in the short last chunk), addressed through the
+			// format's page mapping.
+			for c := 0; c < re.NumChunks(); c++ {
+				for j := 0; j < NumCols; j++ {
+					first, count := re.PartPages(c, partColFor(format, j))
+					var page int64
+					if format == DSM {
+						page = first // one page per (chunk, col) part
+					} else {
+						page = first + int64(j) // stripe j within the chunk's run
+					}
+					if format == NSM && count != NumCols {
+						t.Fatalf("NSM PartPages count = %d, want %d", count, NumCols)
+					}
+					buf := make([]byte, re.PageBytes(page))
+					if err := re.ReadPage(page, buf); err != nil {
+						t.Fatalf("ReadPage(%d,%d): %v", c, j, err)
+					}
+					want := wantStripe(t, re, c, j)
+					if string(buf) != string(want) {
+						t.Fatalf("%v chunk %d col %d: stripe bytes differ", format, c, j)
+					}
 				}
 			}
-			for i := n * 8; i < int64(len(buf)); i++ {
-				if buf[i] != 0 {
-					t.Fatalf("chunk %d col %d: pad byte %d not zero", c, j, i)
+		})
+	}
+}
+
+// partColFor maps a stored column to its ABM part column under a format.
+func partColFor(format Format, j int) int {
+	if format == DSM {
+		return j
+	}
+	return -1
+}
+
+// TestOpenRejectsCorruptGeometry pins that a corrupt header surfaces as an
+// error, not a panic inside the layout constructors.
+func TestOpenRejectsCorruptGeometry(t *testing.T) {
+	tf := newTestFile(t, 2_000, 500, 13)
+	tf.Close()
+	raw, err := os.ReadFile(tf.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(raw[24:], 0) // tuplesPerChunk = 0
+	bad := filepath.Join(t.TempDir(), "corrupt.tbl")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("Open accepted a zero tuplesPerChunk header")
+	} else if !strings.Contains(err.Error(), "bad geometry") {
+		t.Fatalf("Open error = %v, want bad-geometry", err)
+	}
+}
+
+// TestTableFilePageGeometry pins the page-addressing invariants the load
+// path relies on: consecutive pages are contiguous in the file (so runs
+// coalesce into one pread) and the DSM layout's extents match PartPages.
+func TestTableFilePageGeometry(t *testing.T) {
+	for _, format := range []Format{NSM, DSM} {
+		tf := newTestFileFormat(t, format, 5_000, 512, 3)
+		var off int64
+		for p := int64(0); p < tf.NumPages(); p++ {
+			if got := tf.pageOffset(p); got != off {
+				t.Fatalf("%v page %d at offset %d, want %d (pages not contiguous)", format, p, got, off)
+			}
+			off += tf.PageBytes(p)
+		}
+		if format == DSM {
+			d := tf.Layout().(*storage.DSMLayout)
+			for c := 0; c < tf.NumChunks(); c++ {
+				for j := 0; j < NumCols; j++ {
+					e := d.ExtentOf(c, j)
+					if e.Size != tf.ColStripeBytes(j) {
+						t.Fatalf("DSM extent (%d,%d) size %d, want stripe %d", c, j, e.Size, tf.ColStripeBytes(j))
+					}
+					first, _ := tf.PartPages(c, j)
+					if got := tf.pageOffset(first); got != e.Pos {
+						t.Fatalf("DSM extent (%d,%d) at %d, file page at %d", c, j, e.Pos, got)
+					}
 				}
 			}
 		}
 	}
 }
 
+// TestTableFileCoalescedRead checks ReadPageRange returns the same bytes as
+// per-page reads, across stripes of different widths.
+func TestTableFileCoalescedRead(t *testing.T) {
+	tf := newTestFileFormat(t, NSM, 4_000, 500, 11)
+	first, count := tf.PartPages(2, -1)
+	var total int64
+	for p := first; p < first+int64(count); p++ {
+		total += tf.PageBytes(p)
+	}
+	slab := make([]byte, total)
+	if err := tf.ReadPageRange(first, count, slab); err != nil {
+		t.Fatalf("ReadPageRange: %v", err)
+	}
+	var off int64
+	for p := first; p < first+int64(count); p++ {
+		n := tf.PageBytes(p)
+		buf := make([]byte, n)
+		if err := tf.ReadPage(p, buf); err != nil {
+			t.Fatalf("ReadPage(%d): %v", p, err)
+		}
+		if string(buf) != string(slab[off:off+n]) {
+			t.Fatalf("page %d differs between coalesced and single read", p)
+		}
+		off += n
+	}
+}
+
 // readChunkData assembles a ChunkData straight from the file (bypassing the
-// engine) for kernel verification.
-func readChunkData(t testing.TB, tf *TableFile, c int) ChunkData {
+// engine) for kernel verification, delivering the requested columns.
+func readChunkDataCols(t testing.TB, tf *TableFile, c int, cols storage.ColSet) ChunkData {
 	t.Helper()
 	stripes := make([][]byte, NumCols)
-	for j := 0; j < NumCols; j++ {
-		stripes[j] = make([]byte, tf.StripeBytes())
-		if err := tf.ReadStripe(int64(c*NumCols+j), stripes[j]); err != nil {
-			t.Fatalf("ReadStripe: %v", err)
+	cols.Each(func(j int) {
+		stripes[j] = make([]byte, tf.ColStripeBytes(j))
+		var page int64
+		if tf.Format() == DSM {
+			page, _ = tf.PartPages(c, j)
+		} else {
+			first, _ := tf.PartPages(c, -1)
+			page = first + int64(j)
 		}
-	}
-	return ChunkData{stripes: stripes, tuples: tf.Layout().ChunkTuples(c)}
+		if err := tf.ReadPage(page, stripes[j]); err != nil {
+			t.Fatalf("ReadPage: %v", err)
+		}
+	})
+	return ChunkData{stripes: stripes, cols: cols, tuples: tf.Layout().ChunkTuples(c)}
+}
+
+// readChunkData is readChunkDataCols over every stored column.
+func readChunkData(t testing.TB, tf *TableFile, c int) ChunkData {
+	return readChunkDataCols(t, tf, c, storage.AllCols(NumCols))
 }
 
 func TestKernelsMatchExec(t *testing.T) {
@@ -106,6 +232,63 @@ func TestKernelsMatchExec(t *testing.T) {
 		lg, ok := liveQ1[k]
 		if !ok || *lg != *g {
 			t.Errorf("Q1 group %v: live %+v, sim %+v", k, lg, g)
+		}
+	}
+}
+
+// TestKernelsPartialColumnsDSM golden-checks the kernels over DSM files
+// delivering only their projection — the exact ChunkData shape the live DSM
+// path hands to onChunk — against the generator-backed exec kernels.
+func TestKernelsPartialColumnsDSM(t *testing.T) {
+	const rows, tpc = 20_000, 1000
+	tf := newTestFileFormat(t, DSM, rows, tpc, 7)
+	table := tpch.LineitemTable(1)
+	table.Rows = rows
+	gen := tpch.NewGenerator(table, 7)
+
+	pred := exec.DefaultQ6()
+	var liveQ6, simQ6 exec.Q6Result
+	liveQ1, simQ1 := make(exec.Q1Result), make(exec.Q1Result)
+	for c := 0; c < tf.NumChunks(); c++ {
+		start, n := int64(c)*tpc, tf.Layout().ChunkTuples(c)
+		d6 := readChunkDataCols(t, tf, c, Q6Cols())
+		if d6.Has(ColTax) || d6.Col(ColTax) != nil {
+			t.Fatal("Q6 chunk data delivered an undeclared column")
+		}
+		liveQ6.Add(Q6Chunk(d6, pred))
+		simQ6.Add(exec.Q6Chunk(gen, start, n, pred))
+		liveQ1.Merge(Q1Chunk(readChunkDataCols(t, tf, c, Q1Cols()), 700, 2))
+		simQ1.Merge(exec.Q1Chunk(gen, start, n, 700, 2))
+	}
+	if liveQ6 != simQ6 {
+		t.Errorf("partial-column Q6 over DSM file = %+v, over generator = %+v", liveQ6, simQ6)
+	}
+	for k, g := range simQ1 {
+		lg, ok := liveQ1[k]
+		if !ok || *lg != *g {
+			t.Errorf("Q1 group %v: live %+v, sim %+v", k, lg, g)
+		}
+	}
+}
+
+// TestCommentFillerRoundTrip verifies the comment-sized filler column's
+// deterministic content (the one column with no tpch generator).
+func TestCommentFillerRoundTrip(t *testing.T) {
+	tf := newTestFileFormat(t, DSM, 2_000, 512, 99)
+	first, _ := tf.PartPages(1, ColComment)
+	buf := make([]byte, tf.ColStripeBytes(ColComment))
+	if err := tf.ReadPage(first, buf); err != nil {
+		t.Fatal(err)
+	}
+	w := ColWidth(ColComment)
+	words := int(w / 8)
+	for i := int64(0); i < tf.Layout().ChunkTuples(1); i++ {
+		row := tf.TuplesPerChunk() + i
+		for k := 0; k < words; k++ {
+			got := binary.LittleEndian.Uint64(buf[i*w+int64(k)*8:])
+			if want := fillerWord(99, row, k); got != want {
+				t.Fatalf("filler word (row %d, k %d) = %#x, want %#x", row, k, got, want)
+			}
 		}
 	}
 }

@@ -8,11 +8,14 @@ import (
 )
 
 // PlannedQuery is one planned live query: a named range scan that is
-// either FAST (Q6-style) or SLOW (Q1-style, CPU-heavy).
+// either FAST (Q6-style) or SLOW (Q1-style, CPU-heavy), with the column
+// projection its kernel reads (4 of NumCols for FAST, 7 for SLOW) — on a
+// DSM table, the columns are all the I/O the query pays for.
 type PlannedQuery struct {
 	Name   string
 	Ranges storage.RangeSet
 	Slow   bool
+	Cols   storage.ColSet
 }
 
 // PlanWorkload plans the standard live workload deterministically from the
@@ -36,14 +39,15 @@ func PlanWorkload(numChunks, streams, queriesPerStream int, seed uint64) [][]Pla
 				start = rng.Intn(numChunks - chunks + 1)
 			}
 			slow := (s+qi)%3 == 0
-			class := "F"
+			class, cols := "F", Q6Cols()
 			if slow {
-				class = "S"
+				class, cols = "S", Q1Cols()
 			}
 			out[s] = append(out[s], PlannedQuery{
 				Name:   fmt.Sprintf("%s#s%dq%d", class, s, qi),
 				Ranges: storage.NewRangeSet(storage.Range{Start: start, End: start + chunks}),
 				Slow:   slow,
+				Cols:   cols,
 			})
 		}
 	}

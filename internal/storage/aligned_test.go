@@ -1,0 +1,99 @@
+package storage
+
+import "testing"
+
+// alignedTable builds a two-width table for aligned-DSM geometry tests:
+// three 8-byte columns and one 32-byte filler.
+func alignedTable(rows int64) *Table {
+	return &Table{
+		Name: "aligned",
+		Columns: []Column{
+			{Name: "a", Type: Int64, BitsPerValue: 64},
+			{Name: "b", Type: Int64, BitsPerValue: 64},
+			{Name: "c", Type: Int64, BitsPerValue: 64},
+			{Name: "pad", Type: String, BitsPerValue: 32 * 8},
+		},
+		Rows: rows,
+	}
+}
+
+func TestDSMLayoutAlignedGeometry(t *testing.T) {
+	const tpc, page = 1000, 8000 // 8-byte columns: one page per chunk
+	l := NewDSMLayoutAligned(alignedTable(10_500), tpc, page, 0)
+	if !l.Aligned() || !l.Columnar() {
+		t.Fatal("layout must be aligned and columnar")
+	}
+	if l.NumChunks() != 11 {
+		t.Fatalf("NumChunks = %d, want 11", l.NumChunks())
+	}
+	// Every chunk of every column must tile the column exactly: extents are
+	// page-aligned, chunk-contiguous, and never shared between chunks.
+	for col := 0; col < 4; col++ {
+		want := int64(0)
+		per := int64(1)
+		if col == 3 {
+			per = 4 // 32-byte column: 4 pages per chunk
+		}
+		for c := 0; c < l.NumChunks(); c++ {
+			first, last := l.ColumnPageRange(c, col)
+			if first != want || last != first+per {
+				t.Fatalf("col %d chunk %d pages [%d,%d), want [%d,%d)", col, c, first, last, want, want+per)
+			}
+			e := l.ExtentOf(c, col)
+			if e.Pos%page != 0 || e.Size != per*page {
+				t.Fatalf("col %d chunk %d extent %+v not page-aligned per-chunk", col, c, e)
+			}
+			want = last
+		}
+	}
+	// The short last chunk still occupies full (zero-padded) pages, so the
+	// file tiles exactly: total = chunks × (3 + 4×1... ) pages.
+	wantTotal := int64(l.NumChunks()) * (3*page + 4*page)
+	if l.TotalBytes() != wantTotal {
+		t.Fatalf("TotalBytes = %d, want %d", l.TotalBytes(), wantTotal)
+	}
+	// ChunkBytes for a projection counts only the projected columns.
+	if got := l.ChunkBytes(0, Cols(0, 2)); got != 2*page {
+		t.Fatalf("ChunkBytes({0,2}) = %d, want %d", got, 2*page)
+	}
+}
+
+func TestDSMLayoutAlignedRejectsMisalignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for a chunk footprint not divisible by the page size")
+		}
+	}()
+	tbl := alignedTable(1000)
+	NewDSMLayoutAligned(tbl, 999, 8000, 0) // 999×8 not a multiple of 8000
+}
+
+func TestDSMLayoutAlignedRejectsFractionalWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for a fractional byte width")
+		}
+	}()
+	tbl := alignedTable(1000)
+	tbl.Columns[0].BitsPerValue = 12 // 1.5 bytes
+	NewDSMLayoutAligned(tbl, 1000, 8000, 0)
+}
+
+// TestDSMLayoutAlignedVsCompressed pins the difference from the simulator's
+// compressed geometry: the compressed layout shares boundary pages between
+// adjacent chunks, the aligned one never does.
+func TestDSMLayoutAlignedVsCompressed(t *testing.T) {
+	tbl := alignedTable(10_000)
+	compressed := NewDSMLayout(tbl, 1000, 8000, 0)
+	aligned := NewDSMLayoutAligned(tbl, 1000, 8000, 0)
+	_, lastC := compressed.ColumnPageRange(0, 0)
+	firstC, _ := compressed.ColumnPageRange(1, 0)
+	if firstC >= lastC {
+		t.Fatalf("compressed chunks should share a boundary page ([..%d) vs [%d..))", lastC, firstC)
+	}
+	_, lastA := aligned.ColumnPageRange(0, 0)
+	firstA, _ := aligned.ColumnPageRange(1, 0)
+	if firstA != lastA {
+		t.Fatalf("aligned chunks must not share pages ([..%d) vs [%d..))", lastA, firstA)
+	}
+}

@@ -256,6 +256,14 @@ type DSMLayout struct {
 	colBase  []int64   // device offset of each column's first byte
 	colBPT   []float64 // bytes per tuple of each column
 	colPages []int64   // number of pages in each column
+
+	// aligned marks a chunk-aligned layout (NewDSMLayoutAligned): every
+	// chunk of every column is padded to whole pages, so extents tile the
+	// column exactly and adjacent chunks never share boundary pages. The
+	// live engine stores its DSM table files this way; the simulator keeps
+	// the compressed, boundary-sharing geometry above.
+	aligned bool
+	colPPC  []int64 // aligned only: pages per chunk of each column
 }
 
 // NewDSMLayout lays out the table column-wise with the given logical chunk
@@ -296,6 +304,57 @@ func NewDSMLayout(t *Table, tuplesPerChunk, pageBytes, deviceStart int64) *DSMLa
 	return l
 }
 
+// NewDSMLayoutAligned lays out the table column-wise with every chunk of
+// every column padded to whole pages: chunk c of column col occupies exactly
+// pages [c·ppc, (c+1)·ppc) of that column, where ppc =
+// tuplesPerChunk·bytesPerTuple/pageBytes. Unlike NewDSMLayout's compressed
+// geometry, extents tile each column exactly and adjacent chunks never
+// share boundary pages — the geometry of the live engine's DSM table files,
+// where a (chunk, column) extent must map onto whole stored stripes. Every
+// column's width must be a whole number of bytes and its chunk footprint a
+// multiple of pageBytes.
+func NewDSMLayoutAligned(t *Table, tuplesPerChunk, pageBytes, deviceStart int64) *DSMLayout {
+	if tuplesPerChunk <= 0 || pageBytes <= 0 {
+		panic("storage: NewDSMLayoutAligned with non-positive chunk or page size")
+	}
+	if len(t.Columns) > MaxColumns {
+		panic("storage: too many columns for DSM layout")
+	}
+	n := int((t.Rows + tuplesPerChunk - 1) / tuplesPerChunk)
+	if n == 0 {
+		n = 1
+	}
+	l := &DSMLayout{
+		table: t, tuplesPer: tuplesPerChunk, pageBytes: pageBytes, numChunks: n,
+		aligned:  true,
+		colBase:  make([]int64, len(t.Columns)),
+		colBPT:   make([]float64, len(t.Columns)),
+		colPages: make([]int64, len(t.Columns)),
+		colPPC:   make([]int64, len(t.Columns)),
+	}
+	off := deviceStart
+	for i, c := range t.Columns {
+		bpt := int64(c.BitsPerValue / 8)
+		if bpt <= 0 || float64(bpt) != c.BitsPerValue/8 {
+			panic(fmt.Sprintf("storage: aligned DSM column %s needs a positive whole-byte width, has %v bits", c.Name, c.BitsPerValue))
+		}
+		chunkBytes := tuplesPerChunk * bpt
+		if chunkBytes%pageBytes != 0 {
+			panic(fmt.Sprintf("storage: aligned DSM column %s: chunk footprint %d not a multiple of page size %d", c.Name, chunkBytes, pageBytes))
+		}
+		ppc := chunkBytes / pageBytes
+		l.colBase[i] = off
+		l.colBPT[i] = float64(bpt)
+		l.colPPC[i] = ppc
+		l.colPages[i] = int64(n) * ppc
+		off += l.colPages[i] * pageBytes
+	}
+	return l
+}
+
+// Aligned reports whether the layout is chunk-aligned (NewDSMLayoutAligned).
+func (l *DSMLayout) Aligned() bool { return l.aligned }
+
 // NumChunks implements Layout.
 func (l *DSMLayout) NumChunks() int { return l.numChunks }
 
@@ -325,6 +384,10 @@ func (l *DSMLayout) ColumnPageRange(c, col int) (first, last int64) {
 	l.check(c)
 	if col < 0 || col >= len(l.table.Columns) {
 		panic(fmt.Sprintf("storage: column %d out of range", col))
+	}
+	if l.aligned {
+		first = int64(c) * l.colPPC[col]
+		return first, first + l.colPPC[col]
 	}
 	startTuple := int64(c) * l.tuplesPer
 	endTuple := startTuple + l.ChunkTuples(c)

@@ -81,7 +81,7 @@ func BenchmarkLiveSchedulerScaling(b *testing.B) {
 								if q.Slow {
 									onChunk = func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
 								}
-								if _, err := srv.Scan(table, q.Name, q.Ranges, onChunk); err != nil {
+								if _, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, onChunk); err != nil {
 									mu.Lock()
 									if scanErr == nil {
 										scanErr = err

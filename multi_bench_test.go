@@ -75,7 +75,8 @@ func BenchmarkMultiTableLive(b *testing.B) {
 		for _, depth := range []int{1, 4} {
 			pol, depth := pol, depth
 			b.Run(fmt.Sprintf("%s/depth%d", pol, depth), func(b *testing.B) {
-				var abmLoads, poolMisses, deliveredChunks int
+				var abmLoads, deliveredChunks int
+				var bytesRead int64
 				var wall time.Duration
 				for i := 0; i < b.N; i++ {
 					srv, err := engine.NewServer(engine.ServerConfig{
@@ -105,7 +106,7 @@ func BenchmarkMultiTableLive(b *testing.B) {
 									if q.Slow {
 										onChunk = func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
 									}
-									st, err := srv.Scan(table, q.Name, q.Ranges, onChunk)
+									st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, onChunk)
 									mu.Lock()
 									if err != nil && scanErr == nil {
 										scanErr = err
@@ -125,14 +126,14 @@ func BenchmarkMultiTableLive(b *testing.B) {
 					for _, ts := range stats.Tables {
 						abmLoads += ts.ABM.Loads
 					}
-					poolMisses += stats.Pool.Misses
+					bytesRead += stats.Pool.BytesLoaded
 					srv.Close()
 					if scanErr != nil {
 						b.Fatal(scanErr)
 					}
 				}
 				n := float64(b.N)
-				readMiB := float64(poolMisses) * float64(tfs[0].StripeBytes()) / (1 << 20)
+				readMiB := float64(bytesRead) / (1 << 20)
 				deliveredMiB := float64(deliveredChunks) * float64(tfs[0].ChunkBytes()) / (1 << 20)
 				b.ReportMetric(float64(abmLoads)/n, "abm-loads/op")
 				b.ReportMetric(readMiB/n, "MiB-read/op")
