@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +14,7 @@ import (
 	"coopscan/internal/core"
 	"coopscan/internal/engine"
 	"coopscan/internal/exec"
+	"coopscan/internal/iofault"
 )
 
 // runLive is the `coopscan live` subcommand: it generates (or reuses) a
@@ -36,6 +39,8 @@ func runLive(args []string) {
 	queries := fs.Int("queries", 2, "queries per stream")
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
 	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
+	faultPlan := fs.String("fault-plan", "", "injected-fault plan, e.g. transient=0.2,short=0.05,corrupt=0.01,latency=0.1:2ms,bad=OFF:LEN (empty = no faults)")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault injection seed (same plan+seed injects identically)")
 	verbose := fs.Bool("v", false, "print per-query latencies")
 	fs.Parse(args)
 
@@ -54,20 +59,72 @@ func runLive(args []string) {
 		os.Exit(1)
 	}
 	defer tf.Close()
+	injectors, err := applyFaultPlan(*faultPlan, *faultSeed, tf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan live:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("table: %s (%s, %d rows, %d chunks × %s, %s total)\n",
 		tf.Path(), tf.Format(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
 		fmtBytes(int64(tf.NumChunks())*tf.ChunkBytes()))
-	fmt.Printf("workload: %d streams × %d queries, %s buffer, stagger %v\n\n",
-		*streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
+	fmt.Printf("workload: %d streams × %d queries, %s buffer, stagger %v\n", *streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
+	if injectors != nil {
+		fmt.Printf("faults: plan %q, seed %d\n", *faultPlan, *faultSeed)
+	}
+	fmt.Println()
 
 	for _, pol := range policies {
-		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *verbose)
+		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, injectors != nil, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan live:", err)
 			os.Exit(1)
 		}
 		fmt.Print(res)
 	}
+	printInjectorStats(injectors)
+}
+
+// applyFaultPlan parses a -fault-plan string and, when it injects anything,
+// installs one deterministic injector per table (seeded seed+i). Returns nil
+// injectors for an empty plan.
+func applyFaultPlan(planStr string, seed uint64, tfs ...*engine.TableFile) ([]*iofault.Injector, error) {
+	plan, err := iofault.ParsePlan(planStr)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Zero() {
+		return nil, nil
+	}
+	injs := make([]*iofault.Injector, len(tfs))
+	for i, tf := range tfs {
+		i := i
+		tf.WrapReader(func(r io.ReaderAt) io.ReaderAt {
+			injs[i] = iofault.New(r, plan, seed+uint64(i))
+			return injs[i]
+		})
+	}
+	return injs, nil
+}
+
+// printInjectorStats reports the cumulative injection counters (all policy
+// runs of this invocation share the injectors, so transient windows carry
+// over exactly as they would on a real flaky device).
+func printInjectorStats(injs []*iofault.Injector) {
+	if injs == nil {
+		return
+	}
+	var total iofault.Stats
+	for _, inj := range injs {
+		st := inj.Stats()
+		total.Reads += st.Reads
+		total.Transients += st.Transients
+		total.Shorts += st.Shorts
+		total.Corruptions += st.Corruptions
+		total.Delays += st.Delays
+		total.BadReads += st.BadReads
+	}
+	fmt.Printf("injected: %d faults over %d reads (%d transient, %d short, %d corrupt, %d bad-range) + %d delays\n",
+		total.Injected(), total.Reads, total.Transients, total.Shorts, total.Corruptions, total.BadReads, total.Delays)
 }
 
 func parsePolicies(s string) ([]core.Policy, error) {
@@ -123,10 +180,11 @@ type liveResult struct {
 	stats       engine.SystemStats
 	realBytes   int64
 	usefulBytes int64
+	unavailable int // scans failed by quarantined parts (fault runs only)
 	verbose     bool
 }
 
-func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, verbose bool) (*liveResult, error) {
+func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, faulty, verbose bool) (*liveResult, error) {
 	eng, err := engine.New(tf, engine.Config{Policy: pol, BufferBytes: bufferBytes, InFlightDepth: inflight, ReadBandwidth: readBW})
 	if err != nil {
 		return nil, err
@@ -148,8 +206,15 @@ func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inf
 				qStart := time.Now()
 				st, err := eng.Scan(q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+				if err != nil {
+					// Under an active fault plan a quarantined part fails
+					// exactly the scans that need it; that is the designed
+					// outcome, not a run-aborting error.
+					if faulty && errors.Is(err, engine.ErrChunkUnavailable) {
+						res.unavailable++
+					} else if firstErr == nil {
+						firstErr = err
+					}
 				}
 				res.outcomes = append(res.outcomes, liveOutcome{
 					name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
@@ -210,6 +275,7 @@ func (r *liveResult) String() string {
 		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond), max.Round(time.Millisecond),
 		r.stats.ABM.Loads, r.stats.ABM.Evictions, fmtBytes(r.realBytes), bw,
 		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
+	out += faultLine(r.stats.Faults, r.unavailable)
 	if r.verbose {
 		for _, o := range r.outcomes {
 			out += fmt.Sprintf("  %-10s %4d chunks  %8v  useful %8s\n",
@@ -217,6 +283,17 @@ func (r *liveResult) String() string {
 		}
 	}
 	return out
+}
+
+// faultLine renders the server's fault-handling counters, or nothing when
+// the run saw no fault activity at all (the fault-free fast path stays
+// silent).
+func faultLine(f engine.FaultStats, unavailable int) string {
+	if f == (engine.FaultStats{}) && unavailable == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  faults: %d retries, %d checksum, %d quarantined parts, %d failed scans, %d cancelled\n",
+		f.Retries, f.ChecksumErrors, f.QuarantinedParts, f.FailedScans, f.CancelledScans)
 }
 
 func fmtBytes(n int64) string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,8 @@ func runMulti(args []string) {
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
 	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
 	measureSched := fs.Bool("measure-sched", false, "meter scheduling decisions and report sched-ns/decision")
+	faultPlan := fs.String("fault-plan", "", "injected-fault plan, e.g. transient=0.2,short=0.05,corrupt=0.01,latency=0.1:2ms,bad=OFF:LEN (empty = no faults)")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault injection seed (per-table injectors seeded seed+i)")
 	verbose := fs.Bool("v", false, "print per-query latencies")
 	fs.Parse(args)
 
@@ -66,23 +69,33 @@ func runMulti(args []string) {
 		defer tf.Close()
 		tfs[i] = tf
 	}
+	injectors, err := applyFaultPlan(*faultPlan, *faultSeed, tfs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan multi:", err)
+		os.Exit(2)
+	}
 	var footprint int64
 	for _, tf := range tfs {
 		footprint += int64(tf.NumChunks()) * tf.ChunkBytes()
 	}
 	fmt.Printf("tables: %d × %d rows (%s, %d chunks × %s each, %s total)\n",
 		*tables, *rows, tfs[0].Format(), tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
-	fmt.Printf("workload: %d streams × %d queries per table, %s shared buffer, in-flight depth %d, stagger %v\n\n",
+	fmt.Printf("workload: %d streams × %d queries per table, %s shared buffer, in-flight depth %d, stagger %v\n",
 		*streams, *queries, fmtBytes(*bufferMB<<20), *inflight, *stagger)
+	if injectors != nil {
+		fmt.Printf("faults: plan %q, seed %d\n", *faultPlan, *faultSeed)
+	}
+	fmt.Println()
 
 	for _, pol := range policies {
-		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *measureSched, *verbose)
+		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *measureSched, injectors != nil, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 			os.Exit(1)
 		}
 		fmt.Print(res)
 	}
+	printInjectorStats(injectors)
 }
 
 // multiResult is one policy's outcome across all tables.
@@ -93,10 +106,11 @@ type multiResult struct {
 	stats       engine.ServerStats
 	realBytes   int64
 	usefulBytes int64
+	unavailable int // scans failed by quarantined parts (fault runs only)
 	verbose     bool
 }
 
-func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, measureSched, verbose bool) (*multiResult, error) {
+func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, measureSched, faulty, verbose bool) (*multiResult, error) {
 	srv, err := engine.NewServer(engine.ServerConfig{
 		Policy:            pol,
 		BufferBytes:       bufferBytes,
@@ -128,8 +142,14 @@ func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64,
 					qStart := time.Now()
 					st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
 					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = err
+					if err != nil {
+						// Quarantine failures are the designed outcome of an
+						// active fault plan, not a run-aborting error.
+						if faulty && errors.Is(err, engine.ErrChunkUnavailable) {
+							res.unavailable++
+						} else if firstErr == nil {
+							firstErr = err
+						}
 					}
 					res.perTable[table] = append(res.perTable[table], liveOutcome{
 						name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
@@ -181,6 +201,7 @@ func (r *multiResult) String() string {
 		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond),
 		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw,
 		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
+	out += faultLine(r.stats.Faults, r.unavailable)
 	var schedNanos, schedCalls int64
 	for _, ts := range r.stats.Tables {
 		schedNanos += ts.SchedNanos

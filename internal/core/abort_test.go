@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"coopscan/internal/storage"
+)
+
+// stepClock is a hand-advanced live clock for driving the ABM without a
+// simulation environment.
+type stepClock struct{ now float64 }
+
+func (c *stepClock) Now() float64 { return c.now }
+
+// TestAbortLoadRollsBackReservation pins the fault path's budget invariant:
+// AbortLoad is BeginLoad's exact inverse — the reservation is released, the
+// parts return to absent (and stay re-loadable), and every incrementally
+// maintained structure matches a from-scratch recomputation afterwards.
+func TestAbortLoadRollsBackReservation(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		name := map[bool]string{false: "nsm", true: "dsm"}[columnar]
+		t.Run(name, func(t *testing.T) {
+			clk := &stepClock{}
+			var layout storage.Layout
+			var cols storage.ColSet
+			if columnar {
+				layout = dsmTestLayout(8, 4)
+				cols = cols.Add(0).Add(2)
+			} else {
+				layout = nsmTestLayout(8)
+			}
+			buf := layout.ChunkBytes(0, storage.AllCols(layout.Table().NumColumns())) * 3
+			mgr := NewLiveManager(clk, Config{Policy: Normal})
+			abm := mgr.Attach(layout, buf)
+			pol := abm.Policy()
+
+			q := abm.NewQuery("q", storage.NewRangeSet(storage.Range{Start: 0, End: 8}), cols)
+			abm.Register(q)
+
+			d, ok := pol.NextLoad()
+			if !ok {
+				t.Fatal("no load proposed for a registered query over a cold table")
+			}
+			free0 := abm.FreeBytes()
+			pol.CommitLoad(d)
+			marked := abm.BeginLoad(d)
+			if abm.FreeBytes() >= free0 {
+				t.Fatalf("BeginLoad reserved nothing: free %d -> %d", free0, abm.FreeBytes())
+			}
+
+			fin := d
+			fin.Cols = marked
+			abm.AbortLoad(fin)
+			if got := abm.FreeBytes(); got != free0 {
+				t.Fatalf("free bytes after abort = %d, want %d (budget leak)", got, free0)
+			}
+			if err := abm.AuditIncremental(); err != nil {
+				t.Fatalf("audit after abort: %v", err)
+			}
+
+			// The aborted parts must be re-loadable: the policy re-proposes
+			// the chunk and a fresh Begin/Finish makes it available.
+			clk.now += 0.01
+			d2, ok := pol.NextLoad()
+			if !ok {
+				t.Fatal("no load proposed after abort")
+			}
+			if d2.Chunk != d.Chunk {
+				t.Fatalf("post-abort decision picked chunk %d, want %d", d2.Chunk, d.Chunk)
+			}
+			pol.CommitLoad(d2)
+			fin2 := d2
+			fin2.Cols = abm.BeginLoad(d2)
+			abm.FinishLoad(fin2)
+			if err := abm.AuditIncremental(); err != nil {
+				t.Fatalf("audit after reload: %v", err)
+			}
+			if c := pol.PickAvailable(q); c != d.Chunk {
+				t.Fatalf("PickAvailable = %d after reload, want %d", c, d.Chunk)
+			}
+
+			// Drain: consume the one loaded chunk, finish the query, and
+			// check the quiescent invariants.
+			abm.Pin(q, d.Chunk)
+			abm.Release(q, d.Chunk)
+			abm.Finish(q)
+			if err := abm.AuditDrained(); err != nil {
+				t.Fatalf("drained audit: %v", err)
+			}
+		})
+	}
+}
+
+// TestAbortLoadSkipsSiblingParts verifies a narrowed abort (Cols =
+// BeginLoad's marked set) leaves a sibling in-flight load's parts loading —
+// the same discipline FinishLoad requires with several loads in flight.
+func TestAbortLoadSkipsSiblingParts(t *testing.T) {
+	clk := &stepClock{}
+	layout := dsmTestLayout(8, 4)
+	buf := layout.ChunkBytes(0, storage.AllCols(4)) * 4
+	mgr := NewLiveManager(clk, Config{Policy: Normal})
+	abm := mgr.Attach(layout, buf)
+
+	qa := abm.NewQuery("qa", storage.NewRangeSet(storage.Range{Start: 0, End: 8}), storage.ColSet(0).Add(0))
+	qb := abm.NewQuery("qb", storage.NewRangeSet(storage.Range{Start: 0, End: 8}), storage.ColSet(0).Add(1))
+	abm.Register(qa)
+	abm.Register(qb)
+
+	// Two overlapping loads of chunk 0: one for column 0, one for column 1.
+	da := LoadDecision{Chunk: 0, Cols: storage.ColSet(0).Add(0), Query: qa}
+	db := LoadDecision{Chunk: 0, Cols: storage.ColSet(0).Add(1), Query: qb}
+	ma := abm.BeginLoad(da)
+	mb := abm.BeginLoad(db)
+	if !ma.Has(0) || !mb.Has(1) {
+		t.Fatalf("marked sets = %v, %v", ma, mb)
+	}
+
+	// Abort load A; load B's part must stay loading and then finish cleanly.
+	fa := da
+	fa.Cols = ma
+	abm.AbortLoad(fa)
+	if err := abm.AuditIncremental(); err != nil {
+		t.Fatalf("audit after partial abort: %v", err)
+	}
+	fb := db
+	fb.Cols = mb
+	abm.FinishLoad(fb)
+	if err := abm.AuditIncremental(); err != nil {
+		t.Fatalf("audit after sibling finish: %v", err)
+	}
+	if c := abm.Policy().PickAvailable(qb); c != 0 {
+		t.Fatalf("qb PickAvailable = %d, want 0", c)
+	}
+	abm.Pin(qb, 0)
+	abm.Release(qb, 0)
+	abm.Finish(qb)
+	abm.Finish(qa)
+	if err := abm.AuditDrained(); err != nil {
+		t.Fatalf("drained audit: %v", err)
+	}
+}

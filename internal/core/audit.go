@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"coopscan/internal/storage"
+)
+
+// AuditIncremental recomputes every incrementally maintained scheduler
+// structure from first principles (the parts map and the queries' needed
+// sets) and returns the first divergence as an error, or nil when all of it
+// is consistent. It is the ground truth the O(1)-maintained counters are
+// audited against — by the core's own randomized tests and by the live
+// engine's fault-soak harness, which runs it mid-flight while loads are
+// retrying, aborting, and being quarantined around it. The caller must hold
+// whatever lock serialises access to the ABM.
+func (a *ABM) AuditIncremental() error {
+	if err := a.auditResidency(); err != nil {
+		return err
+	}
+	if err := a.auditQueryAvailability(); err != nil {
+		return err
+	}
+	if err := a.auditColGroups(); err != nil {
+		return err
+	}
+	if err := a.auditLRUHeap(); err != nil {
+		return err
+	}
+	if err := a.auditLoadCands(); err != nil {
+		return err
+	}
+	return a.auditByteAccounting()
+}
+
+// AuditDrained checks the quiescent-state invariants that must hold once
+// every scan has finished and no load is in flight: no pins, no loading
+// parts, no leaked assembly marks, and byte accounting intact. A failure
+// here is a leak — space a dead scan or aborted load still holds.
+func (a *ABM) AuditDrained() error {
+	for _, p := range a.cache.loadedParts() {
+		if p.pins != 0 {
+			return fmt.Errorf("core: part %v holds %d pins after drain", p.key, p.pins)
+		}
+		if p.state == partLoading {
+			return fmt.Errorf("core: part %v still loading after drain", p.key)
+		}
+	}
+	if len(a.assembling) != 0 {
+		return fmt.Errorf("core: %d assembly marks leaked after drain", len(a.assembling))
+	}
+	return a.auditByteAccounting()
+}
+
+// auditResidency recomputes the per-chunk residency index from the parts
+// map.
+func (a *ABM) auditResidency() error {
+	b := a.cache
+	n := a.layout.NumChunks()
+	resident := make([]storage.ColSet, n)
+	loading := make([]storage.ColSet, n)
+	partCount := make([]int, n)
+	for k, p := range b.parts {
+		switch p.state {
+		case partLoaded:
+			resident[k.chunk] |= colBit(k.col)
+		case partLoading:
+			loading[k.chunk] |= colBit(k.col)
+		default:
+			return fmt.Errorf("core: part %v in parts map with state %d", k, p.state)
+		}
+		partCount[k.chunk]++
+	}
+	for c := 0; c < n; c++ {
+		if b.residentCols[c] != resident[c] {
+			return fmt.Errorf("core: residentCols[%d] = %v, recomputed %v", c, b.residentCols[c], resident[c])
+		}
+		if b.loadingCols[c] != loading[c] {
+			return fmt.Errorf("core: loadingCols[%d] = %v, recomputed %v", c, b.loadingCols[c], loading[c])
+		}
+		if b.partCount[c] != partCount[c] {
+			return fmt.Errorf("core: partCount[%d] = %d, recomputed %d", c, b.partCount[c], partCount[c])
+		}
+		if partCount[c] > 0 {
+			i := b.occupiedPos[c]
+			if i < 0 || i >= len(b.occupied) || b.occupied[i] != c {
+				return fmt.Errorf("core: chunk %d with %d parts not indexed in occupied", c, partCount[c])
+			}
+		} else if b.occupiedPos[c] != -1 {
+			return fmt.Errorf("core: empty chunk %d has occupiedPos %d", c, b.occupiedPos[c])
+		}
+	}
+	occupied := 0
+	for _, c := range partCount {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if len(b.occupied) != occupied {
+		return fmt.Errorf("core: occupied list has %d chunks, recomputed %d", len(b.occupied), occupied)
+	}
+	return nil
+}
+
+// auditQueryAvailability recomputes per-query availability, starvation
+// flags and, from those, the per-chunk interest counters.
+func (a *ABM) auditQueryAvailability() error {
+	b := a.cache
+	n := a.layout.NumChunks()
+	interest := make([]int, n)
+	starvedInt := make([]int, n)
+	almostInt := make([]int, n)
+	for _, q := range a.queries {
+		req := b.requiredBits(a.queryCols(q))
+		avail := 0
+		inList := make(map[int]bool, len(q.availList))
+		for _, c := range q.availList {
+			inList[c] = true
+		}
+		for c := 0; c < n; c++ {
+			want := q.needs(c) && req&^b.residentCols[c] == 0
+			if want {
+				avail++
+			}
+			if want != inList[c] {
+				return fmt.Errorf("core: %s availList membership of chunk %d = %v, recomputed %v",
+					q.Name, c, inList[c], want)
+			}
+			if inList[c] && (q.availPos[c] < 0 || q.availList[q.availPos[c]] != c) {
+				return fmt.Errorf("core: %s availPos[%d] inconsistent", q.Name, c)
+			}
+		}
+		// Cross-check against the independent pool-scan reference.
+		if ref := a.availableCount(q, n+1); ref != avail || q.available() != avail {
+			return fmt.Errorf("core: %s availability maintained=%d recomputed=%d reference=%d",
+				q.Name, q.available(), avail, ref)
+		}
+		starved := avail < a.cfg.StarveThreshold
+		almost := avail < a.cfg.StarveThreshold+1
+		if q.starved != starved || q.almostStarved != almost {
+			return fmt.Errorf("core: %s flags starved=%v almost=%v, recomputed %v/%v (avail %d, threshold %d)",
+				q.Name, q.starved, q.almostStarved, starved, almost, avail, a.cfg.StarveThreshold)
+		}
+		for c := 0; c < n; c++ {
+			if q.needs(c) {
+				interest[c]++
+				if starved {
+					starvedInt[c]++
+				}
+				if almost {
+					almostInt[c]++
+				}
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		if a.interestCount[c] != interest[c] {
+			return fmt.Errorf("core: interestCount[%d] = %d, recomputed %d", c, a.interestCount[c], interest[c])
+		}
+		if a.starvedInterest[c] != starvedInt[c] {
+			return fmt.Errorf("core: starvedInterest[%d] = %d, recomputed %d", c, a.starvedInterest[c], starvedInt[c])
+		}
+		if a.almostInterest[c] != almostInt[c] {
+			return fmt.Errorf("core: almostInterest[%d] = %d, recomputed %d", c, a.almostInterest[c], almostInt[c])
+		}
+	}
+	return nil
+}
+
+// auditColGroups recomputes the DSM column-group index (per-colset member
+// counts and per-chunk interested/starved/almost counters) from the query
+// registry.
+func (a *ABM) auditColGroups() error {
+	if !a.layout.Columnar() {
+		if len(a.groups) != 0 || a.groupIdx != nil {
+			return fmt.Errorf("core: NSM layout carries column groups")
+		}
+		return nil
+	}
+	n := a.layout.NumChunks()
+	type ref struct {
+		members                     int
+		interested, starved, almost []int
+	}
+	want := map[storage.ColSet]*ref{}
+	for _, q := range a.queries {
+		r := want[q.Cols]
+		if r == nil {
+			r = &ref{interested: make([]int, n), starved: make([]int, n), almost: make([]int, n)}
+			want[q.Cols] = r
+		}
+		r.members++
+		for c := 0; c < n; c++ {
+			if q.needs(c) {
+				r.interested[c]++
+				if q.starved {
+					r.starved[c]++
+				}
+				if q.almostStarved {
+					r.almost[c]++
+				}
+			}
+		}
+		if q.group == nil || q.group.cols != q.Cols {
+			return fmt.Errorf("core: query %s not linked to its column group", q.Name)
+		}
+	}
+	if len(a.groups) != len(want) || len(a.groupIdx) != len(want) {
+		return fmt.Errorf("core: %d groups (%d indexed), recomputed %d", len(a.groups), len(a.groupIdx), len(want))
+	}
+	for _, g := range a.groups {
+		r := want[g.cols]
+		if r == nil {
+			return fmt.Errorf("core: group %v has no registered members", g.cols)
+		}
+		if a.groupIdx[g.cols] != g {
+			return fmt.Errorf("core: group %v not indexed", g.cols)
+		}
+		if g.members != r.members {
+			return fmt.Errorf("core: group %v members = %d, recomputed %d", g.cols, g.members, r.members)
+		}
+		for c := 0; c < n; c++ {
+			if g.interested[c] != r.interested[c] || g.starved[c] != r.starved[c] || g.almost[c] != r.almost[c] {
+				return fmt.Errorf("core: group %v chunk %d counters = (%d,%d,%d), recomputed (%d,%d,%d)",
+					g.cols, c, g.interested[c], g.starved[c], g.almost[c],
+					r.interested[c], r.starved[c], r.almost[c])
+			}
+		}
+	}
+	return nil
+}
+
+// auditLRUHeap checks the cache's LRU victim heap: exactly the loaded
+// parts, each at its recorded slot, with the heap order intact (every
+// parent at or before its children in (lastTouch, chunk, col) order).
+func (a *ABM) auditLRUHeap() error {
+	b := a.cache
+	loaded := 0
+	for _, p := range b.loaded {
+		switch p.state {
+		case partLoaded:
+			loaded++
+			if p.lruIdx < 0 || p.lruIdx >= len(b.lruHeap) || b.lruHeap[p.lruIdx] != p {
+				return fmt.Errorf("core: loaded part %v not at its heap slot %d", p.key, p.lruIdx)
+			}
+		case partLoading:
+			if p.lruIdx != -1 {
+				return fmt.Errorf("core: loading part %v sits in the LRU heap", p.key)
+			}
+		}
+	}
+	if len(b.lruHeap) != loaded {
+		return fmt.Errorf("core: LRU heap has %d entries, %d loaded parts", len(b.lruHeap), loaded)
+	}
+	for i := 1; i < len(b.lruHeap); i++ {
+		parent := (i - 1) / 2
+		if lruBefore(b.lruHeap[i], b.lruHeap[parent]) {
+			return fmt.Errorf("core: LRU heap order violated at slot %d (%v before parent %v)",
+				i, b.lruHeap[i].key, b.lruHeap[parent].key)
+		}
+	}
+	return nil
+}
+
+// auditLoadCands checks the relevance loader's candidate index: exactly the
+// starved queries that still have a non-resident needed chunk.
+func (a *ABM) auditLoadCands() error {
+	for _, q := range a.queries {
+		member := q.starved && q.remaining() > q.available()
+		if member != (q.loadPos >= 0) {
+			return fmt.Errorf("core: %s loadCands membership = %v, want %v (starved=%v remaining=%d avail=%d)",
+				q.Name, q.loadPos >= 0, member, q.starved, q.remaining(), q.available())
+		}
+		if q.loadPos >= 0 && (q.loadPos >= len(a.loadCands) || a.loadCands[q.loadPos] != q) {
+			return fmt.Errorf("core: %s loadPos %d inconsistent", q.Name, q.loadPos)
+		}
+	}
+	for i, q := range a.loadCands {
+		if q.loadPos != i {
+			return fmt.Errorf("core: loadCands[%d] = %s with loadPos %d", i, q.Name, q.loadPos)
+		}
+	}
+	return nil
+}
+
+// auditByteAccounting cross-checks the page reference map against the
+// used-byte counter: every referenced page accounts for exactly one page of
+// usage, so an aborted or evicted part that failed to release its
+// reservation shows up immediately.
+func (a *ABM) auditByteAccounting() error {
+	b := a.cache
+	var pageBytes int64
+	for _, refs := range b.pageRefs {
+		if refs <= 0 {
+			return fmt.Errorf("core: page map holds a %d-reference entry", refs)
+		}
+		pageBytes += b.pageBytes
+	}
+	if pageBytes != b.usedBytes {
+		return fmt.Errorf("core: page map accounts %d bytes, usedBytes %d", pageBytes, b.usedBytes)
+	}
+	return nil
+}

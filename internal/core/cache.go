@@ -274,6 +274,37 @@ func (b *bufcache) finishLoad(k partKey, now float64) {
 	b.lruPush(p)
 }
 
+// abortLoad rolls a loading part back to absent — beginLoad's exact
+// inverse, for loads whose reads failed. The reservation is released page
+// by page exactly as evict does, so the budget a failed load held never
+// leaks; the part can be re-proposed and re-loaded later.
+func (b *bufcache) abortLoad(k partKey) {
+	p := b.parts[k]
+	if p == nil || p.state != partLoading {
+		panic(fmt.Sprintf("core: abortLoad(%v) not loading", k))
+	}
+	delete(b.parts, k)
+	// Order-preserving compaction for the same determinism reason as evict:
+	// the relevance policy's useless-column pass reads b.loaded in load
+	// order.
+	for i, lp := range b.loaded {
+		if lp == p {
+			b.loaded = append(b.loaded[:i], b.loaded[i+1:]...)
+			break
+		}
+	}
+	b.loadingCols[k.chunk] &^= colBit(k.col)
+	b.dropChunkPart(k.chunk)
+	first, last := b.pageRange(k)
+	for pg := first; pg < last; pg++ {
+		b.pageRefs[pg]--
+		if b.pageRefs[pg] == 0 {
+			delete(b.pageRefs, pg)
+			b.usedBytes -= b.pageBytes
+		}
+	}
+}
+
 // evict removes a loaded, unpinned part and returns the bytes freed.
 func (b *bufcache) evict(k partKey) int64 {
 	p := b.parts[k]

@@ -10,237 +10,14 @@ import (
 	"coopscan/internal/storage"
 )
 
-// auditIncrementalState recomputes every incrementally maintained scheduler
-// structure from first principles (the parts map and the queries' needed
-// sets) and fails the test on any divergence. It is the ground truth the
-// O(1)-maintained counters are audited against.
+// auditIncrementalState fails the test if ABM.AuditIncremental (audit.go)
+// finds any divergence between the incrementally maintained scheduler
+// structures and a from-first-principles recomputation. The audit itself is
+// exported production code so the live engine's fault soak can run it too.
 func auditIncrementalState(t *testing.T, a *ABM, when string) {
 	t.Helper()
-	b := a.cache
-	n := a.layout.NumChunks()
-
-	// Recompute the per-chunk residency index from the parts map.
-	resident := make([]storage.ColSet, n)
-	loading := make([]storage.ColSet, n)
-	partCount := make([]int, n)
-	for k, p := range b.parts {
-		switch p.state {
-		case partLoaded:
-			resident[k.chunk] |= colBit(k.col)
-		case partLoading:
-			loading[k.chunk] |= colBit(k.col)
-		default:
-			t.Fatalf("%s: part %v in parts map with state %d", when, k, p.state)
-		}
-		partCount[k.chunk]++
-	}
-	for c := 0; c < n; c++ {
-		if b.residentCols[c] != resident[c] {
-			t.Fatalf("%s: residentCols[%d] = %v, recomputed %v", when, c, b.residentCols[c], resident[c])
-		}
-		if b.loadingCols[c] != loading[c] {
-			t.Fatalf("%s: loadingCols[%d] = %v, recomputed %v", when, c, b.loadingCols[c], loading[c])
-		}
-		if b.partCount[c] != partCount[c] {
-			t.Fatalf("%s: partCount[%d] = %d, recomputed %d", when, c, b.partCount[c], partCount[c])
-		}
-		if partCount[c] > 0 {
-			i := b.occupiedPos[c]
-			if i < 0 || i >= len(b.occupied) || b.occupied[i] != c {
-				t.Fatalf("%s: chunk %d with %d parts not indexed in occupied", when, c, partCount[c])
-			}
-		} else if b.occupiedPos[c] != -1 {
-			t.Fatalf("%s: empty chunk %d has occupiedPos %d", when, c, b.occupiedPos[c])
-		}
-	}
-	occupied := 0
-	for _, c := range partCount {
-		if c > 0 {
-			occupied++
-		}
-	}
-	if len(b.occupied) != occupied {
-		t.Fatalf("%s: occupied list has %d chunks, recomputed %d", when, len(b.occupied), occupied)
-	}
-
-	// Recompute per-query availability, starvation flags and, from those,
-	// the per-chunk starved/almost interest counters.
-	interest := make([]int, n)
-	starvedInt := make([]int, n)
-	almostInt := make([]int, n)
-	for _, q := range a.queries {
-		req := b.requiredBits(a.queryCols(q))
-		avail := 0
-		inList := make(map[int]bool, len(q.availList))
-		for _, c := range q.availList {
-			inList[c] = true
-		}
-		for c := 0; c < n; c++ {
-			want := q.needs(c) && req&^resident[c] == 0
-			if want {
-				avail++
-			}
-			if want != inList[c] {
-				t.Fatalf("%s: %s availList membership of chunk %d = %v, recomputed %v",
-					when, q.Name, c, inList[c], want)
-			}
-			if inList[c] && (q.availPos[c] < 0 || q.availList[q.availPos[c]] != c) {
-				t.Fatalf("%s: %s availPos[%d] inconsistent", when, q.Name, c)
-			}
-		}
-		// Cross-check against the independent pool-scan reference.
-		if ref := a.availableCount(q, n+1); ref != avail || q.available() != avail {
-			t.Fatalf("%s: %s availability maintained=%d recomputed=%d reference=%d",
-				when, q.Name, q.available(), avail, ref)
-		}
-		starved := avail < a.cfg.StarveThreshold
-		almost := avail < a.cfg.StarveThreshold+1
-		if q.starved != starved || q.almostStarved != almost {
-			t.Fatalf("%s: %s flags starved=%v almost=%v, recomputed %v/%v (avail %d, threshold %d)",
-				when, q.Name, q.starved, q.almostStarved, starved, almost, avail, a.cfg.StarveThreshold)
-		}
-		for c := 0; c < n; c++ {
-			if q.needs(c) {
-				interest[c]++
-				if starved {
-					starvedInt[c]++
-				}
-				if almost {
-					almostInt[c]++
-				}
-			}
-		}
-	}
-	for c := 0; c < n; c++ {
-		if a.interestCount[c] != interest[c] {
-			t.Fatalf("%s: interestCount[%d] = %d, recomputed %d", when, c, a.interestCount[c], interest[c])
-		}
-		if a.starvedInterest[c] != starvedInt[c] {
-			t.Fatalf("%s: starvedInterest[%d] = %d, recomputed %d", when, c, a.starvedInterest[c], starvedInt[c])
-		}
-		if a.almostInterest[c] != almostInt[c] {
-			t.Fatalf("%s: almostInterest[%d] = %d, recomputed %d", when, c, a.almostInterest[c], almostInt[c])
-		}
-	}
-
-	auditColGroups(t, a, when)
-	auditLRUHeap(t, a, when)
-	auditLoadCands(t, a, when)
-}
-
-// auditColGroups recomputes the DSM column-group index (per-colset member
-// counts and per-chunk interested/starved/almost counters) from the query
-// registry and fails on any divergence.
-func auditColGroups(t *testing.T, a *ABM, when string) {
-	t.Helper()
-	if !a.layout.Columnar() {
-		if len(a.groups) != 0 || a.groupIdx != nil {
-			t.Fatalf("%s: NSM layout carries column groups", when)
-		}
-		return
-	}
-	n := a.layout.NumChunks()
-	type ref struct {
-		members                     int
-		interested, starved, almost []int
-	}
-	want := map[storage.ColSet]*ref{}
-	for _, q := range a.queries {
-		r := want[q.Cols]
-		if r == nil {
-			r = &ref{interested: make([]int, n), starved: make([]int, n), almost: make([]int, n)}
-			want[q.Cols] = r
-		}
-		r.members++
-		for c := 0; c < n; c++ {
-			if q.needs(c) {
-				r.interested[c]++
-				if q.starved {
-					r.starved[c]++
-				}
-				if q.almostStarved {
-					r.almost[c]++
-				}
-			}
-		}
-		if q.group == nil || q.group.cols != q.Cols {
-			t.Fatalf("%s: query %s not linked to its column group", when, q.Name)
-		}
-	}
-	if len(a.groups) != len(want) || len(a.groupIdx) != len(want) {
-		t.Fatalf("%s: %d groups (%d indexed), recomputed %d", when, len(a.groups), len(a.groupIdx), len(want))
-	}
-	for _, g := range a.groups {
-		r := want[g.cols]
-		if r == nil {
-			t.Fatalf("%s: group %v has no registered members", when, g.cols)
-		}
-		if a.groupIdx[g.cols] != g {
-			t.Fatalf("%s: group %v not indexed", when, g.cols)
-		}
-		if g.members != r.members {
-			t.Fatalf("%s: group %v members = %d, recomputed %d", when, g.cols, g.members, r.members)
-		}
-		for c := 0; c < n; c++ {
-			if g.interested[c] != r.interested[c] || g.starved[c] != r.starved[c] || g.almost[c] != r.almost[c] {
-				t.Fatalf("%s: group %v chunk %d counters = (%d,%d,%d), recomputed (%d,%d,%d)",
-					when, g.cols, c, g.interested[c], g.starved[c], g.almost[c],
-					r.interested[c], r.starved[c], r.almost[c])
-			}
-		}
-	}
-}
-
-// auditLRUHeap checks the cache's LRU victim heap: exactly the loaded
-// parts, each at its recorded slot, with the heap order intact (every
-// parent at or before its children in (lastTouch, chunk, col) order).
-func auditLRUHeap(t *testing.T, a *ABM, when string) {
-	t.Helper()
-	b := a.cache
-	loaded := 0
-	for _, p := range b.loaded {
-		switch p.state {
-		case partLoaded:
-			loaded++
-			if p.lruIdx < 0 || p.lruIdx >= len(b.lruHeap) || b.lruHeap[p.lruIdx] != p {
-				t.Fatalf("%s: loaded part %v not at its heap slot %d", when, p.key, p.lruIdx)
-			}
-		case partLoading:
-			if p.lruIdx != -1 {
-				t.Fatalf("%s: loading part %v sits in the LRU heap", when, p.key)
-			}
-		}
-	}
-	if len(b.lruHeap) != loaded {
-		t.Fatalf("%s: LRU heap has %d entries, %d loaded parts", when, len(b.lruHeap), loaded)
-	}
-	for i := 1; i < len(b.lruHeap); i++ {
-		parent := (i - 1) / 2
-		if lruBefore(b.lruHeap[i], b.lruHeap[parent]) {
-			t.Fatalf("%s: LRU heap order violated at slot %d (%v before parent %v)",
-				when, i, b.lruHeap[i].key, b.lruHeap[parent].key)
-		}
-	}
-}
-
-// auditLoadCands checks the relevance loader's candidate index: exactly the
-// starved queries that still have a non-resident needed chunk.
-func auditLoadCands(t *testing.T, a *ABM, when string) {
-	t.Helper()
-	for _, q := range a.queries {
-		member := q.starved && q.remaining() > q.available()
-		if member != (q.loadPos >= 0) {
-			t.Fatalf("%s: %s loadCands membership = %v, want %v (starved=%v remaining=%d avail=%d)",
-				when, q.Name, q.loadPos >= 0, member, q.starved, q.remaining(), q.available())
-		}
-		if q.loadPos >= 0 && (q.loadPos >= len(a.loadCands) || a.loadCands[q.loadPos] != q) {
-			t.Fatalf("%s: %s loadPos %d inconsistent", when, q.Name, q.loadPos)
-		}
-	}
-	for i, q := range a.loadCands {
-		if q.loadPos != i {
-			t.Fatalf("%s: loadCands[%d] = %s with loadPos %d", when, i, q.Name, q.loadPos)
-		}
+	if err := a.AuditIncremental(); err != nil {
+		t.Fatalf("%s: %v", when, err)
 	}
 }
 

@@ -209,6 +209,24 @@ func (a *ABM) FinishLoad(d LoadDecision) {
 	a.fresh[d.Chunk] = true
 }
 
+// AbortLoad rolls back a failed BeginLoad: every part the load marked (pass
+// the decision with Cols narrowed to BeginLoad's return value, exactly as
+// FinishLoad requires) returns from loading to absent and its buffer
+// reservation is released. This is the live engine's fault path — a load
+// whose reads exhausted their retries must give the space back, or the
+// budget leaks a dead reservation forever (the §6.2 lesson, in reverse).
+// The parts stay re-loadable; quarantining them is the caller's call.
+func (a *ABM) AbortLoad(d LoadDecision) {
+	cols := a.colsOrNSM(d.Cols)
+	var kb [storage.MaxColumns]partKey
+	for _, k := range a.cache.partsInto(kb[:0], cols, d.Chunk) {
+		if a.cache.state(k) != partLoading {
+			continue
+		}
+		a.cache.abortLoad(k)
+	}
+}
+
 // Pin pins every part of chunk c that q reads (the chunk must be fully
 // resident for q's columns, i.e. PickAvailable returned it) and stamps the
 // query's service time. Release undoes it. The first pin also lifts the

@@ -105,6 +105,11 @@ func (q *Query) finished() bool { return q.neededCount == 0 }
 // engine's loop condition; the sim driver uses ABM.Next's ok result).
 func (q *Query) Finished() bool { return q.finished() }
 
+// Needs reports whether chunk c still has to be consumed — the live
+// engine's quarantine check: a scan fails only if an unloadable part lies
+// in its remaining range.
+func (q *Query) Needs(c int) bool { return q.needs(c) }
+
 // SetBlocked marks the query as blocked waiting for a deliverable chunk.
 // The sim delivery loops set it around their signal waits; the live engine
 // must do the same around its condition-variable waits, because the

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"context"
+	"time"
+
 	"coopscan/internal/bufferpool"
 	"coopscan/internal/core"
 	"coopscan/internal/storage"
@@ -25,13 +28,18 @@ type Config struct {
 	// ReadBandwidth forwards to ServerConfig.ReadBandwidth: an optional
 	// per-load-stream device bandwidth model (bytes/s, 0 = off).
 	ReadBandwidth int64
+	// LoadRetries and RetryBackoff forward to ServerConfig: the per-load
+	// fault domain's retry budget and backoff base (0 = defaults).
+	LoadRetries  int
+	RetryBackoff time.Duration
 }
 
 // SystemStats aggregates a run's counters across both accounting layers:
 // the ABM's chunk-level decisions and the underlying page pool's real I/O.
 type SystemStats struct {
-	ABM  core.SystemStats // chunk-level loads/evictions/bytes (decision layer)
-	Pool bufferpool.Stats // page-level hits/misses/evictions (real I/O layer)
+	ABM    core.SystemStats // chunk-level loads/evictions/bytes (decision layer)
+	Pool   bufferpool.Stats // page-level hits/misses/evictions (real I/O layer)
+	Faults FaultStats       // retries, quarantines, failed/cancelled scans
 }
 
 // Engine executes cooperative scans over one TableFile in wall-clock time.
@@ -53,6 +61,8 @@ func New(tf *TableFile, cfg Config) (*Engine, error) {
 		ElevatorWindow:  cfg.ElevatorWindow,
 		Prefetch:        cfg.Prefetch,
 		ReadBandwidth:   cfg.ReadBandwidth,
+		LoadRetries:     cfg.LoadRetries,
+		RetryBackoff:    cfg.RetryBackoff,
 	}, tf)
 	if err != nil {
 		return nil, err
@@ -72,10 +82,17 @@ func (e *Engine) Scan(name string, ranges storage.RangeSet, cols storage.ColSet,
 	return e.srv.Scan(0, name, ranges, cols, onChunk)
 }
 
+// ScanContext is Scan under a context: cancellation or a deadline wakes
+// even a blocked scan, unregisters its query and returns ctx's error. See
+// Server.ScanContext.
+func (e *Engine) ScanContext(ctx context.Context, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	return e.srv.ScanContext(ctx, 0, name, ranges, cols, onChunk)
+}
+
 // Stats returns the engine's counters at both accounting layers.
 func (e *Engine) Stats() SystemStats {
 	st := e.srv.Stats()
-	return SystemStats{ABM: st.Tables[0].ABM, Pool: st.Pool}
+	return SystemStats{ABM: st.Tables[0].ABM, Pool: st.Pool, Faults: st.Faults}
 }
 
 // Close stops the scheduler and workers and releases all chunk views.

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -11,8 +13,17 @@ import (
 	"coopscan/internal/storage"
 )
 
-// ErrClosed is returned by Scan when the engine shuts down mid-scan.
+// ErrClosed is returned by Scan when the engine shuts down mid-scan, and
+// immediately by a Scan entered after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrChunkUnavailable is returned by Scan/ScanContext when a part the scan
+// still needs was quarantined: a load of it exhausted its retries against a
+// persistent fault. Only scans whose remaining range and column set touch
+// the quarantined part fail; sibling queries, other chunks and other tables
+// keep running. The error chain includes the final load failure (e.g.
+// ErrChecksum or the device error), so errors.Is can classify the cause.
+var ErrChunkUnavailable = errors.New("engine: chunk unavailable")
 
 // Scan argument validation errors; test with errors.Is. A scan that names a
 // table the server does not serve, a range beyond the table, or a column
@@ -73,9 +84,22 @@ type ServerConfig struct {
 	// ~200 MiB/s RAID figure so live numbers are comparable to the
 	// paper's.
 	ReadBandwidth int64
+	// LoadRetries caps how many times a failed load's reads and pins are
+	// retried before the parts it covers are quarantined (default 4, so a
+	// load gets 5 attempts in total — enough to outlast any transient fault
+	// an injector caps at 2 failures per offset).
+	LoadRetries int
+	// RetryBackoff is the base of the exponential retry backoff (default
+	// 1ms): attempt k sleeps base × 2^k, jittered to [50%, 150%), capped at
+	// 100 × base. Tests shrink it to keep fault soaks fast.
+	RetryBackoff time.Duration
 }
 
-const defaultInFlightDepth = 4
+const (
+	defaultInFlightDepth = 4
+	defaultLoadRetries   = 4
+	defaultRetryBackoff  = time.Millisecond
+)
 
 // TableStats is one table's share of a server's counters.
 type TableStats struct {
@@ -90,11 +114,32 @@ type TableStats struct {
 	SchedCalls int64
 }
 
+// FaultStats counts the server's fault-handling activity. All fields are
+// cumulative since server start.
+type FaultStats struct {
+	// Retries is the number of load attempts repeated after a read, verify
+	// or pin failure.
+	Retries int64
+	// ChecksumErrors counts load attempts rejected by page checksum
+	// verification (ErrChecksum somewhere in the failure chain).
+	ChecksumErrors int64
+	// QuarantinedParts counts (chunk, column) parts taken out of service
+	// after a load exhausted its retries.
+	QuarantinedParts int64
+	// FailedScans counts scans that returned ErrChunkUnavailable because
+	// their range needed a quarantined part.
+	FailedScans int64
+	// CancelledScans counts scans that returned early because their context
+	// was cancelled or timed out.
+	CancelledScans int64
+}
+
 // ServerStats aggregates a run's counters: per-table ABM decisions plus the
-// shared page pool's real I/O.
+// shared page pool's real I/O and the fault-handling counters.
 type ServerStats struct {
 	Tables []TableStats
 	Pool   bufferpool.Stats
+	Faults FaultStats
 }
 
 // partID identifies one pinned unit in a table's view map: a (chunk,
@@ -117,6 +162,11 @@ type serverTable struct {
 	// part — so a column part can be evicted (view released) while a
 	// sibling column of the same chunk stays pinned and resident.
 	views map[partID]*bufferpool.ChunkView
+	// quarantine holds the parts whose loads exhausted their retries,
+	// mapped to the final failure. The scheduler refuses decisions naming
+	// them and scans that still need them fail with ErrChunkUnavailable;
+	// everything else proceeds. Guarded by the server mutex.
+	quarantine map[partID]error
 }
 
 // partPages returns the global pool-page run backing one part.
@@ -133,6 +183,22 @@ func (t *serverTable) eachPart(marked storage.ColSet, fn func(col int)) {
 		return
 	}
 	marked.Each(fn)
+}
+
+// decisionQuarantined reports whether a load decision names a quarantined
+// part; such decisions are never committed.
+func (t *serverTable) decisionQuarantined(d core.LoadDecision) bool {
+	if t.tf.Format() == NSM {
+		_, bad := t.quarantine[partID{chunk: d.Chunk, col: -1}]
+		return bad
+	}
+	bad := false
+	d.Cols.Each(func(col int) {
+		if _, q := t.quarantine[partID{chunk: d.Chunk, col: col}]; q {
+			bad = true
+		}
+	})
+	return bad
 }
 
 // loadJob is one issued load travelling from the scheduler to a worker: the
@@ -215,6 +281,13 @@ type Server struct {
 	closed bool
 	err    error
 
+	// faults are the fault-handling counters (retries, quarantines,
+	// cancellations); guarded by mu.
+	faults FaultStats
+	// jitter randomises retry backoff so concurrent failed loads do not
+	// retry in lockstep; drawn under mu.
+	jitter *rand.Rand
+
 	loadCh    chan loadJob
 	schedDone chan struct{}
 	workerWG  sync.WaitGroup
@@ -247,6 +320,12 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	if cfg.InFlightDepth <= 0 {
 		cfg.InFlightDepth = defaultInFlightDepth
 	}
+	if cfg.LoadRetries <= 0 {
+		cfg.LoadRetries = defaultLoadRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
 	var floor int64
 	minPage := tfs[0].ColStripeBytes(0)
 	for _, tf := range tfs {
@@ -263,6 +342,7 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		staging:   make(map[bufferpool.PageID][]byte),
+		jitter:    rand.New(rand.NewSource(1)),
 		loadCh:    make(chan loadJob, cfg.InFlightDepth),
 		schedDone: make(chan struct{}),
 	}
@@ -276,7 +356,11 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	})
 	for i, tf := range tfs {
 		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
-		t := &serverTable{idx: i, tf: tf, name: name, views: make(map[partID]*bufferpool.ChunkView)}
+		t := &serverTable{
+			idx: i, tf: tf, name: name,
+			views:      make(map[partID]*bufferpool.ChunkView),
+			quarantine: make(map[partID]error),
+		}
 		// Every table starts at its two-chunk floor; the arbiter grants the
 		// rest of the budget by demand as soon as streams register.
 		t.abm = s.mgr.AttachAs(name, tf.Layout(), 2*tf.ChunkBytes())
@@ -340,6 +424,7 @@ func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
 	local := int64(id) % pageStride
 	buf := s.stripeBufs[t.tf.PageBytes(local)].Get().([]byte)
 	if err := t.tf.ReadPage(local, buf); err != nil {
+		s.stripeBufs[int64(len(buf))].Put(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -426,6 +511,14 @@ func (s *Server) issueOne() bool {
 		if !ok {
 			continue
 		}
+		if len(t.quarantine) > 0 && t.decisionQuarantined(d) {
+			// The decision names an unloadable part. Don't commit it —
+			// leave the table parked until the affected scans observe the
+			// quarantine (they are woken when it is imposed), fail, and
+			// unregister; the policy's next decision then no longer wants
+			// the dead part. Other tables still get their turn below.
+			continue
+		}
 		need := t.abm.ColdBytes(d.Chunk, d.Cols)
 		if need > 0 && t.abm.FreeBytes() < need {
 			// Shield the chunk's resident sibling parts while evicting: a
@@ -466,108 +559,217 @@ func (s *Server) issueOne() bool {
 // pinning the marked parts' page ranges and FinishLoad — commits under it.
 // Completions land in read-completion order, not issue order; the ABM's
 // part states (marked loading at issue) keep the two decoupled.
+//
+// A load is its own fault domain. A failed read, checksum verification or
+// pin retries with bounded exponential backoff (the job stays counted in
+// inFlight, so the scheduler never over-issues while it heals); a load that
+// exhausts its retries — or fails during shutdown — is aborted: its ABM
+// reservation is rolled back (core.AbortLoad, so the budget never leaks)
+// and the failing part is quarantined. Only bufferpool.ErrNoFrame still
+// takes the whole server down: it means the frame accounting itself is
+// violated, which no retry can mend.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for job := range s.loadCh {
-		bufs, readErr := s.readMissing(job.t, job.missing)
+		bufs, err := s.readMissing(job.t, job.missing)
 		if s.loadHook != nil {
 			s.loadHook(job.t.idx, job.d.Chunk)
 		}
 		s.mu.Lock()
-		s.inFlight--
-		if readErr != nil {
-			s.fail(readErr)
-			s.mu.Unlock()
-			continue
-		}
 		for id, b := range bufs {
 			s.staging[id] = b
 		}
-		// Pages resident at issue time may have been pool-evicted while the
-		// read was in flight (they are unpinned, so prime LRU victims under
-		// load churn). Re-read any such page without the lock — and under
-		// the device model — before committing, so the locked PinRange
-		// below stays free of synchronous I/O.
-		for {
-			var gone []bufferpool.PageID
-			job.t.eachPart(job.marked, func(col int) {
-				first, count := job.t.partPages(job.d.Chunk, col)
-				for id := first; id < first+bufferpool.PageID(count); id++ {
-					if _, staged := s.staging[id]; !staged && !s.pool.Contains(id) {
-						gone = append(gone, id)
-					}
+		for attempt := 0; ; attempt++ {
+			if err == nil {
+				if err = s.completeLoad(job); err == nil {
+					break // committed
 				}
-			})
-			if len(gone) == 0 {
+			}
+			if errors.Is(err, ErrChecksum) {
+				s.faults.ChecksumErrors++
+			}
+			if errors.Is(err, bufferpool.ErrNoFrame) {
+				// Frame accounting invariant violated — not an I/O fault,
+				// and retrying cannot help. The one load failure that still
+				// fails the whole server, with table/chunk context.
+				s.abortJob(job, nil)
+				s.fail(fmt.Errorf("engine: load %s chunk %d: %w", job.t.name, job.d.Chunk, err))
 				break
 			}
+			if s.closed || attempt >= s.cfg.LoadRetries {
+				s.abortJob(job, err)
+				break
+			}
+			s.faults.Retries++
+			pause := s.retryPause(attempt)
 			s.mu.Unlock()
-			more, err := s.readMissing(job.t, gone)
+			time.Sleep(pause)
 			s.mu.Lock()
-			if err != nil {
-				readErr = err
-				break
-			}
-			for id, b := range more {
-				s.staging[id] = b
-			}
+			err = nil
 		}
-		if readErr != nil {
-			s.fail(readErr)
-			s.mu.Unlock()
-			continue
-		}
-		pinErr := false
-		job.t.eachPart(job.marked, func(col int) {
-			if pinErr {
-				return
-			}
-			first, count := job.t.partPages(job.d.Chunk, col)
-			view, err := s.pool.PinRange(first, first+bufferpool.PageID(count))
-			if err != nil {
-				s.fail(fmt.Errorf("engine: pin %s chunk %d col %d: %w", job.t.name, job.d.Chunk, col, err))
-				pinErr = true
-				return
-			}
-			job.t.views[partID{chunk: job.d.Chunk, col: col}] = view
-		})
-		if pinErr {
-			s.mu.Unlock()
-			continue
-		}
-		// Commit only the parts this job marked: a sibling in-flight load
-		// of the same chunk's other columns finishes its own parts.
-		fin := job.d
-		fin.Cols = job.marked
-		job.t.abm.FinishLoad(fin)
+		s.inFlight--
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
+}
+
+// completeLoad lands one issued load under the server lock: top up any page
+// that went missing while the read was in flight, pin the marked parts'
+// page ranges, and FinishLoad. On any failure it unwinds the pins it took
+// and returns the error for the worker's retry loop; already-staged pages
+// stay staged, so a retry re-reads only what is actually missing.
+func (s *Server) completeLoad(job loadJob) error {
+	// Pages resident at issue time may have been pool-evicted while the
+	// read was in flight (they are unpinned, so prime LRU victims under
+	// load churn). Re-read any such page without the lock — and under
+	// the device model — before committing, so the locked PinRange
+	// below stays free of synchronous I/O.
+	for {
+		var gone []bufferpool.PageID
+		job.t.eachPart(job.marked, func(col int) {
+			first, count := job.t.partPages(job.d.Chunk, col)
+			for id := first; id < first+bufferpool.PageID(count); id++ {
+				if _, staged := s.staging[id]; !staged && !s.pool.Contains(id) {
+					gone = append(gone, id)
+				}
+			}
+		})
+		if len(gone) == 0 {
+			break
+		}
+		s.mu.Unlock()
+		more, err := s.readMissing(job.t, gone)
+		s.mu.Lock()
+		for id, b := range more {
+			s.staging[id] = b
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var pinned []partID
+	var pinErr error
+	job.t.eachPart(job.marked, func(col int) {
+		if pinErr != nil {
+			return
+		}
+		first, count := job.t.partPages(job.d.Chunk, col)
+		view, err := s.pool.PinRange(first, first+bufferpool.PageID(count))
+		if err != nil {
+			pinErr = fmt.Errorf("engine: pin %s chunk %d col %d: %w", job.t.name, job.d.Chunk, col, err)
+			return
+		}
+		k := partID{chunk: job.d.Chunk, col: col}
+		job.t.views[k] = view
+		pinned = append(pinned, k)
+	})
+	if pinErr != nil {
+		for _, k := range pinned {
+			job.t.views[k].Release()
+			delete(job.t.views, k)
+		}
+		return pinErr
+	}
+	// Commit only the parts this job marked: a sibling in-flight load
+	// of the same chunk's other columns finishes its own parts.
+	fin := job.d
+	fin.Cols = job.marked
+	job.t.abm.FinishLoad(fin)
+	s.cond.Broadcast()
+	return nil
+}
+
+// retryPause returns the backoff before retry `attempt`: exponential in the
+// configured base, capped at 100×, jittered to [50%, 150%). Called under mu.
+func (s *Server) retryPause(attempt int) time.Duration {
+	d := s.cfg.RetryBackoff
+	for i := 0; i < attempt && d < 100*s.cfg.RetryBackoff; i++ {
+		d *= 2
+	}
+	if max := 100 * s.cfg.RetryBackoff; d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + s.jitter.Float64()))
+}
+
+// abortJob rolls back a load that cannot complete: its staged pages return
+// to the recycle pools, its ABM reservation is released (AbortLoad — the
+// space un-reserve that keeps the budget from leaking), and, when cause is
+// non-nil, the failing part is quarantined so the scheduler stops
+// re-proposing it and the scans that need it fail fast. Blocked scans are
+// woken to observe the quarantine. Called under mu.
+func (s *Server) abortJob(job loadJob, cause error) {
+	job.t.eachPart(job.marked, func(col int) {
+		first, count := job.t.partPages(job.d.Chunk, col)
+		for id := first; id < first+bufferpool.PageID(count); id++ {
+			if b, ok := s.staging[id]; ok {
+				delete(s.staging, id)
+				if p, ok := s.stripeBufs[int64(len(b))]; ok {
+					p.Put(b)
+				}
+			}
+		}
+	})
+	fin := job.d
+	fin.Cols = job.marked
+	job.t.abm.AbortLoad(fin)
+	if cause == nil {
+		return
+	}
+	for _, k := range s.quarantineTargets(job, cause) {
+		if _, dup := job.t.quarantine[k]; !dup {
+			job.t.quarantine[k] = cause
+			s.faults.QuarantinedParts++
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// quarantineTargets picks the parts to quarantine for a dead load: the
+// exact part of the failing page when the error chain carries one (reads
+// and checksum verification tag failures with *PageError), else — for
+// errors with no page attribution — every part the job covered.
+func (s *Server) quarantineTargets(job loadJob, cause error) []partID {
+	var pe *PageError
+	if errors.As(cause, &pe) {
+		chunk, col := job.t.tf.PagePart(pe.Page)
+		return []partID{{chunk: chunk, col: col}}
+	}
+	var out []partID
+	job.t.eachPart(job.marked, func(col int) {
+		out = append(out, partID{chunk: job.d.Chunk, col: col})
+	})
+	return out
 }
 
 // readMissing reads the listed pages from the table file into recycled
 // page buffers. Runs of consecutive page indexes — an NSM chunk's stripes,
 // or the multi-stripe extent of a wide DSM column — are coalesced into a
 // single positioned read (one slab, sub-sliced per page), so a part load
-// costs one pread per on-disk extent rather than one per stripe. Called
-// without the server lock; multiple workers read concurrently through
-// ReadAt.
+// costs one pread per on-disk extent rather than one per stripe. A failing
+// run does not stop the others: the successfully read pages come back
+// alongside the first error, so the retry loop stages them and each retry
+// re-reads only what is still missing — every faulty extent advances
+// through its transient-fault window in parallel instead of one extent per
+// retry. Called without the server lock; multiple workers read concurrently
+// through ReadAt.
 func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[bufferpool.PageID][]byte, error) {
 	if len(missing) == 0 {
 		return nil, nil
 	}
 	out := make(map[bufferpool.PageID][]byte, len(missing))
+	var firstErr error
 	for i := 0; i < len(missing); {
 		j := i + 1
 		for j < len(missing) && missing[j] == missing[j-1]+1 {
 			j++
 		}
-		if err := s.readRun(t, missing[i:j], out); err != nil {
-			return nil, err
+		if err := s.readRun(t, missing[i:j], out); err != nil && firstErr == nil {
+			firstErr = err
 		}
 		i = j
 	}
-	return out, nil
+	return out, firstErr
 }
 
 // readRun reads one run of consecutive pages: a single page draws its
@@ -612,13 +814,39 @@ func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[buffer
 	return nil
 }
 
-// fail records a fatal error and wakes everyone. Callers hold mu.
+// fail records a fatal, server-wide error and wakes everyone. This is the
+// last resort reserved for violated invariants (frame accounting); ordinary
+// I/O failures stay inside their load's fault domain (retry → quarantine)
+// and never come here. Callers hold mu.
 func (s *Server) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
 	s.closed = true
 	s.cond.Broadcast()
+}
+
+// quarantineError returns the typed failure for the first quarantined part
+// scan q still needs — its remaining range covers the part's chunk and (in
+// DSM) its projection includes the part's column — or nil. The fast path is
+// one map-length test, so fault-free scans pay nothing.
+func (s *Server) quarantineError(t *serverTable, q *core.Query) error {
+	if len(t.quarantine) == 0 {
+		return nil
+	}
+	for k, cause := range t.quarantine {
+		if !q.Needs(k.chunk) {
+			continue
+		}
+		if k.col >= 0 && !q.Cols.Has(k.col) {
+			continue
+		}
+		if k.col < 0 {
+			return fmt.Errorf("%w: %s chunk %d: %w", ErrChunkUnavailable, t.name, k.chunk, cause)
+		}
+		return fmt.Errorf("%w: %s chunk %d col %d: %w", ErrChunkUnavailable, t.name, k.chunk, k.col, cause)
+	}
+	return nil
 }
 
 // NumTables returns the number of attached tables.
@@ -636,8 +864,22 @@ func (s *Server) Table(i int) *TableFile { return s.tables[i].tf }
 // projection still drives the useful-bytes accounting in the returned
 // stats. It blocks until the scan has consumed its whole range and returns
 // the query's statistics (times are wall-clock seconds since server
-// start).
+// start). Scan is ScanContext without a deadline.
 func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	return s.ScanContext(context.Background(), table, name, ranges, cols, onChunk)
+}
+
+// ScanContext is Scan under a context: when ctx is cancelled or its
+// deadline passes, the scan — even one parked on the scheduler's condition
+// variable waiting for a chunk that may never load — wakes, unregisters its
+// query, releases nothing it still holds (pins are only held inside a
+// delivery, never across the wait), and returns ctx's error. Cancellation
+// is observed between chunk deliveries: an onChunk already in progress runs
+// to completion. A nil ctx is Background.
+func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if table < 0 || table >= len(s.tables) {
 		return core.Stats{}, fmt.Errorf("%w: scan %q over table %d of %d", ErrUnknownTable, name, table, len(s.tables))
 	}
@@ -659,6 +901,22 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 	if bad := cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
 		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, name, bad, NumCols)
 	}
+	if done := ctx.Done(); done != nil {
+		// Watcher: a context firing must unblock a scan parked in cond.Wait.
+		// Skipped entirely for non-cancellable contexts, so the fault-free
+		// fast path (Scan) pays nothing for cancellability.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	dsm := t.tf.Format() == DSM
 	projBytes := ProjectionBytes(cols)
 	var scratch [][]byte
@@ -667,6 +925,17 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 	}
 	var useful int64
 	s.mu.Lock()
+	if s.closed {
+		// A scan entered after Close (or after a fatal failure) must not
+		// register a query on a dead server: the scheduler is gone, so the
+		// query could never be served or unregistered.
+		err := s.err
+		s.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return core.Stats{}, err
+	}
 	q := t.abm.NewQuery(name, ranges, cols)
 	t.abm.Register(q)
 	s.cond.Broadcast()
@@ -680,6 +949,22 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 			}
 			st.BytesUseful = useful
 			return st, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			st := t.abm.Finish(q)
+			s.faults.CancelledScans++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			st.BytesUseful = useful
+			return st, fmt.Errorf("engine: scan %q: %w", name, cerr)
+		}
+		if qerr := s.quarantineError(t, q); qerr != nil {
+			st := t.abm.Finish(q)
+			s.faults.FailedScans++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			st.BytesUseful = useful
+			return st, qerr
 		}
 		c := t.pol.PickAvailable(q)
 		if c < 0 {
@@ -730,7 +1015,7 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := ServerStats{Pool: s.pool.Stats()}
+	out := ServerStats{Pool: s.pool.Stats(), Faults: s.faults}
 	for _, t := range s.tables {
 		schedDur, schedCalls := t.abm.SchedulingCost()
 		out.Tables = append(out.Tables, TableStats{
@@ -755,9 +1040,13 @@ func (s *Server) Budgets() []int64 {
 	return out
 }
 
-// Close stops the scheduler and workers and releases all part views.
-// Outstanding Scans are woken and return ErrClosed. In-flight loads are
-// drained (committed) first, so the ABM state machines close coherent.
+// Close is a graceful drain: it stops the scheduler from issuing new
+// loads, lets the workers finish (commit) or abort their in-flight loads
+// — a load mid-retry aborts instead of sleeping out its backoff — wakes
+// every waiter, joins the workers, and releases all part views.
+// Outstanding Scans are woken and return ErrClosed; scans entered after
+// Close return ErrClosed immediately. The returned error is nil unless the
+// server died of a fatal invariant violation (Server.fail).
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()

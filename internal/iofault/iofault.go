@@ -1,0 +1,255 @@
+// Package iofault wraps an io.ReaderAt with deterministic, seedable fault
+// injection — the testing substrate of the live engine's fault tolerance.
+//
+// A production scan engine must survive the failure modes real devices
+// exhibit: transient EIO under load, short reads, latency spikes, torn or
+// bit-flipped pages, and persistently unreadable regions. None of those can
+// be provoked on demand from a healthy filesystem, so the engine reads its
+// table files through an injectable seam (engine.TableFile.WrapReader) and
+// the tests — and the CLIs' -fault-plan flag — install an Injector there.
+//
+// Every decision is a pure function of (seed, offset, per-offset attempt
+// number), so a fault plan replays identically across runs regardless of
+// goroutine interleaving: retrying the same offset advances its attempt
+// counter and sees the next decision in that offset's deterministic
+// sequence. Transient faults clear after Plan.TransientMax failures per
+// offset, which is exactly what makes bounded retry provably sufficient;
+// BadRanges never clear, which is what forces the quarantine path.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected read failure; test
+// with errors.Is to tell an injected fault from a real one.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// Range is a half-open byte range [Off, Off+Len) of the underlying store.
+type Range struct {
+	Off, Len int64
+}
+
+func (r Range) overlaps(off, n int64) bool {
+	return off < r.Off+r.Len && r.Off < off+n
+}
+
+// Plan parameterises an Injector. The zero Plan injects nothing.
+type Plan struct {
+	// TransientProb is the per-attempt probability of a transient read
+	// error (EIO-style). An offset stops failing transiently after
+	// TransientMax injected failures, so bounded retry always recovers.
+	TransientProb float64
+	// TransientMax caps transient failures per distinct offset (default 2).
+	TransientMax int
+	// ShortProb is the per-attempt probability a read returns only half the
+	// requested bytes (with an error, per the io.ReaderAt contract).
+	ShortProb float64
+	// CorruptProb is the per-attempt probability the returned bytes carry a
+	// flipped byte with no error — the torn-write/bit-rot mode only page
+	// checksums can catch.
+	CorruptProb float64
+	// LatencyProb/Latency model latency spikes: with LatencyProb the read
+	// sleeps Latency before proceeding (no error).
+	LatencyProb float64
+	Latency     time.Duration
+	// BadRanges are persistently unreadable byte ranges: every read
+	// overlapping one fails, forever. This is the fault retries cannot fix
+	// and quarantine must.
+	BadRanges []Range
+}
+
+// Zero reports whether the plan injects nothing.
+func (p Plan) Zero() bool {
+	return p.TransientProb == 0 && p.ShortProb == 0 && p.CorruptProb == 0 &&
+		p.LatencyProb == 0 && len(p.BadRanges) == 0
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Reads       int64 // ReadAt calls observed
+	Transients  int64 // transient errors injected
+	Shorts      int64 // short reads injected
+	Corruptions int64 // corrupted payloads delivered
+	Delays      int64 // latency spikes injected
+	BadReads    int64 // reads failed by a persistent bad range
+}
+
+// Injected returns the total injected faults (delays excluded: a slow read
+// is not a failed one).
+func (s Stats) Injected() int64 {
+	return s.Transients + s.Shorts + s.Corruptions + s.BadReads
+}
+
+// Injector is a fault-injecting io.ReaderAt. It is safe for concurrent use
+// when the wrapped reader is (os.File is).
+type Injector struct {
+	inner io.ReaderAt
+	plan  Plan
+	seed  uint64
+
+	mu       sync.Mutex
+	attempts map[int64]uint64 // per-offset attempt counters
+	stats    Stats
+}
+
+// New wraps inner with the given fault plan. Decisions derive from seed, so
+// equal (plan, seed) pairs inject identically.
+func New(inner io.ReaderAt, plan Plan, seed uint64) *Injector {
+	if plan.TransientMax <= 0 {
+		plan.TransientMax = 2
+	}
+	return &Injector{inner: inner, plan: plan, seed: seed, attempts: make(map[int64]uint64)}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// mix hashes the decision tuple with a SplitMix64-style finaliser; stream
+// decorrelates the independent fault kinds of one attempt.
+func mix(seed, off, attempt, stream uint64) uint64 {
+	z := seed ^ 0x6661756c7421 + off*0x9E3779B97F4A7C15 + attempt*0xD1B54A32D192ED03 + stream*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// ReadAt reads through the wrapped reader, injecting faults per the plan.
+func (i *Injector) ReadAt(p []byte, off int64) (int, error) {
+	i.mu.Lock()
+	attempt := i.attempts[off]
+	i.attempts[off] = attempt + 1
+	i.stats.Reads++
+	decide := func(stream uint64, prob float64) bool {
+		return prob > 0 && unit(mix(i.seed, uint64(off), attempt, stream)) < prob
+	}
+	var delay time.Duration
+	if decide(1, i.plan.LatencyProb) {
+		i.stats.Delays++
+		delay = i.plan.Latency
+	}
+	bad := false
+	for _, r := range i.plan.BadRanges {
+		if r.overlaps(off, int64(len(p))) {
+			bad = true
+			i.stats.BadReads++
+			break
+		}
+	}
+	transient := !bad && attempt < uint64(i.plan.TransientMax) && decide(2, i.plan.TransientProb)
+	if transient {
+		i.stats.Transients++
+	}
+	short := !bad && !transient && decide(3, i.plan.ShortProb)
+	if short {
+		i.stats.Shorts++
+	}
+	corrupt := !bad && !transient && !short && decide(4, i.plan.CorruptProb)
+	if corrupt {
+		i.stats.Corruptions++
+	}
+	i.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if bad {
+		return 0, fmt.Errorf("iofault: persistent bad range at offset %d: %w", off, ErrInjected)
+	}
+	if transient {
+		return 0, fmt.Errorf("iofault: transient read error at offset %d (attempt %d): %w", off, attempt, ErrInjected)
+	}
+	if short {
+		n := len(p) / 2
+		m, err := i.inner.ReadAt(p[:n], off)
+		if err != nil {
+			return m, err
+		}
+		return m, fmt.Errorf("iofault: short read at offset %d (%d of %d bytes): %w", off, m, len(p), ErrInjected)
+	}
+	n, err := i.inner.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	if corrupt && n > 0 {
+		pos := int(mix(i.seed, uint64(off), attempt, 5) % uint64(n))
+		p[pos] ^= 0xFF
+	}
+	return n, nil
+}
+
+// ParsePlan parses the CLI fault-plan syntax: a comma-separated list of
+//
+//	transient=P   short=P   corrupt=P   latency=P:DUR   bad=OFF:LEN
+//
+// with probabilities in [0,1], DUR a Go duration, and bad repeatable.
+// An empty string is the zero plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("iofault: plan field %q is not key=value", field)
+		}
+		prob := func(s string) (float64, error) {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("iofault: probability %q not in [0,1]", s)
+			}
+			return f, nil
+		}
+		var err error
+		switch k {
+		case "transient":
+			p.TransientProb, err = prob(v)
+		case "short":
+			p.ShortProb, err = prob(v)
+		case "corrupt":
+			p.CorruptProb, err = prob(v)
+		case "latency":
+			ps, ds, ok := strings.Cut(v, ":")
+			if !ok {
+				return p, fmt.Errorf("iofault: latency wants P:DUR, got %q", v)
+			}
+			if p.LatencyProb, err = prob(ps); err != nil {
+				return p, err
+			}
+			p.Latency, err = time.ParseDuration(ds)
+		case "bad":
+			os, ls, ok := strings.Cut(v, ":")
+			if !ok {
+				return p, fmt.Errorf("iofault: bad wants OFF:LEN, got %q", v)
+			}
+			var r Range
+			if r.Off, err = strconv.ParseInt(os, 10, 64); err != nil {
+				return p, fmt.Errorf("iofault: bad offset %q: %v", os, err)
+			}
+			if r.Len, err = strconv.ParseInt(ls, 10, 64); err != nil {
+				return p, fmt.Errorf("iofault: bad length %q: %v", ls, err)
+			}
+			p.BadRanges = append(p.BadRanges, r)
+		default:
+			return p, fmt.Errorf("iofault: unknown plan field %q", k)
+		}
+		if err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}

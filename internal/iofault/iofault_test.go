@@ -1,0 +1,224 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// testData builds a deterministic backing store.
+func testData(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 131)
+	}
+	return b
+}
+
+// TestDeterminism pins the core contract: equal (plan, seed) pairs inject
+// identically for the same read sequence, regardless of which Injector
+// instance serves it.
+func TestDeterminism(t *testing.T) {
+	data := testData(4096)
+	plan := Plan{TransientProb: 0.4, ShortProb: 0.2, CorruptProb: 0.2, BadRanges: []Range{{Off: 1024, Len: 64}}}
+	type outcome struct {
+		n    int
+		err  bool
+		data string
+	}
+	run := func() ([]outcome, Stats) {
+		inj := New(bytes.NewReader(data), plan, 42)
+		var out []outcome
+		for pass := 0; pass < 4; pass++ {
+			for off := int64(0); off < 4096; off += 256 {
+				buf := make([]byte, 256)
+				n, err := inj.ReadAt(buf, off)
+				out = append(out, outcome{n: n, err: err != nil, data: string(buf[:n])})
+			}
+		}
+		return out, inj.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats diverged across identical runs: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d diverged across identical runs", i)
+		}
+	}
+	if sa.Injected() == 0 {
+		t.Fatal("plan with every fault kind injected nothing")
+	}
+}
+
+// TestTransientClears verifies bounded retry is provably sufficient: an
+// offset stops failing transiently after TransientMax injected failures.
+func TestTransientClears(t *testing.T) {
+	data := testData(1024)
+	inj := New(bytes.NewReader(data), Plan{TransientProb: 1, TransientMax: 2}, 7)
+	buf := make([]byte, 128)
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := inj.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want ErrInjected", attempt, err)
+		}
+	}
+	n, err := inj.ReadAt(buf, 0)
+	if err != nil || n != 128 {
+		t.Fatalf("post-clear read = (%d, %v), want clean", n, err)
+	}
+	if !bytes.Equal(buf, data[:128]) {
+		t.Fatal("post-clear read returned wrong bytes")
+	}
+	if st := inj.Stats(); st.Transients != 2 {
+		t.Fatalf("Transients = %d, want 2", st.Transients)
+	}
+}
+
+// TestBadRangePersists verifies persistent bad ranges never clear and only
+// overlapping reads fail.
+func TestBadRangePersists(t *testing.T) {
+	data := testData(2048)
+	inj := New(bytes.NewReader(data), Plan{BadRanges: []Range{{Off: 512, Len: 256}}}, 3)
+	buf := make([]byte, 128)
+	for attempt := 0; attempt < 10; attempt++ {
+		if _, err := inj.ReadAt(buf, 700); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d inside bad range: err = %v, want ErrInjected", attempt, err)
+		}
+	}
+	// A read ending exactly at the range start does not overlap.
+	if _, err := inj.ReadAt(buf, 384); err != nil {
+		t.Fatalf("read adjacent to bad range failed: %v", err)
+	}
+	if _, err := inj.ReadAt(buf, 1024); err != nil {
+		t.Fatalf("read outside bad range failed: %v", err)
+	}
+	if st := inj.Stats(); st.BadReads != 10 {
+		t.Fatalf("BadReads = %d, want 10", st.BadReads)
+	}
+}
+
+// TestCorruptFlipsOneByte verifies the silent-corruption mode: no error, but
+// exactly one byte differs from the store (the mode only checksums catch).
+func TestCorruptFlipsOneByte(t *testing.T) {
+	data := testData(1024)
+	inj := New(bytes.NewReader(data), Plan{CorruptProb: 1}, 11)
+	buf := make([]byte, 512)
+	n, err := inj.ReadAt(buf, 0)
+	if err != nil || n != 512 {
+		t.Fatalf("corrupt read = (%d, %v), want silent success", n, err)
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != data[i] {
+			diff++
+			if buf[i] != data[i]^0xFF {
+				t.Fatalf("byte %d corrupted to %#x, want %#x", i, buf[i], data[i]^0xFF)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+// TestShortRead verifies the short-read mode honours the io.ReaderAt
+// contract: fewer bytes than requested must come with an error.
+func TestShortRead(t *testing.T) {
+	data := testData(1024)
+	inj := New(bytes.NewReader(data), Plan{ShortProb: 1}, 5)
+	buf := make([]byte, 512)
+	n, err := inj.ReadAt(buf, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short read err = %v, want ErrInjected", err)
+	}
+	if n != 256 {
+		t.Fatalf("short read returned %d bytes, want 256", n)
+	}
+	if !bytes.Equal(buf[:n], data[:n]) {
+		t.Fatal("short read returned wrong prefix")
+	}
+}
+
+// TestLatency verifies delay injection sleeps but does not fail the read.
+func TestLatency(t *testing.T) {
+	data := testData(256)
+	inj := New(bytes.NewReader(data), Plan{LatencyProb: 1, Latency: 10 * time.Millisecond}, 1)
+	buf := make([]byte, 64)
+	start := time.Now()
+	if _, err := inj.ReadAt(buf, 0); err != nil {
+		t.Fatalf("delayed read failed: %v", err)
+	}
+	if spent := time.Since(start); spent < 10*time.Millisecond {
+		t.Fatalf("delayed read took %v, want >= 10ms", spent)
+	}
+	st := inj.Stats()
+	if st.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", st.Delays)
+	}
+	if st.Injected() != 0 {
+		t.Fatalf("Injected() counts delays: %d", st.Injected())
+	}
+}
+
+// TestZeroPlanIsTransparent verifies the zero plan passes every read through
+// untouched.
+func TestZeroPlanIsTransparent(t *testing.T) {
+	data := testData(4096)
+	var plan Plan
+	if !plan.Zero() {
+		t.Fatal("zero Plan reports non-zero")
+	}
+	inj := New(bytes.NewReader(data), plan, 99)
+	for off := int64(0); off < 4096; off += 512 {
+		buf := make([]byte, 512)
+		n, err := inj.ReadAt(buf, off)
+		if err != nil || n != 512 || !bytes.Equal(buf, data[off:off+512]) {
+			t.Fatalf("zero-plan read at %d = (%d, %v)", off, n, err)
+		}
+	}
+	if st := inj.Stats(); st.Injected() != 0 || st.Reads != 8 {
+		t.Fatalf("zero-plan stats = %+v", st)
+	}
+}
+
+// TestParsePlan covers the CLI plan syntax round trip and its error cases.
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("transient=0.5,short=0.25,corrupt=0.1,latency=0.2:5ms,bad=100:50,bad=900:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		TransientProb: 0.5, ShortProb: 0.25, CorruptProb: 0.1,
+		LatencyProb: 0.2, Latency: 5 * time.Millisecond,
+		BadRanges: []Range{{Off: 100, Len: 50}, {Off: 900, Len: 10}},
+	}
+	if fmt.Sprintf("%+v", p) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("ParsePlan = %+v, want %+v", p, want)
+	}
+	if p, err := ParsePlan("  "); err != nil || !p.Zero() {
+		t.Fatalf("blank plan = (%+v, %v), want zero", p, err)
+	}
+	for _, bad := range []string{
+		"transient",         // not key=value
+		"transient=1.5",     // probability out of range
+		"transient=-0.1",    // negative probability
+		"latency=0.5",       // missing duration
+		"latency=0.5:zzz",   // bad duration
+		"bad=100",           // missing length
+		"bad=x:50",          // bad offset
+		"bad=100:y",         // bad length
+		"flaky=0.5",         // unknown key
+		"short=0.1,bogus=1", // error after valid fields
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+var _ io.ReaderAt = (*Injector)(nil)
