@@ -11,14 +11,16 @@
 # pair whose dsm/nsm ratio must stay ≤ 0.45), and PR 6 re-runs the same
 # DSM pair fault-free after the checksummed-page/fault-domain changes
 # (`make bench-fault` → BENCH_PR6.json; overhead vs BENCH_PR5.json must
-# stay < 5%). See docs/BENCHMARKS.md for the trajectory and repro
-# commands.
+# stay < 5%), and PR 7 adds the observability on/off A/B
+# (`make bench-obs` → BENCH_PR7.json; instrumented median must stay
+# within 2% of dark). See docs/BENCHMARKS.md for the trajectory and
+# repro commands.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: build test test-race vet fmt-check soak bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-json
+.PHONY: build test test-race vet fmt-check soak bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-json
 
 build:
 	$(GO) build ./...
@@ -30,7 +32,7 @@ test: build
 # the bufferpool substrate it pins chunks through, and the core arbiter
 # state they drive) must stay race-clean.
 test-race:
-	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/...
+	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +89,15 @@ bench-dsm:
 # nothing when nothing fails.
 bench-fault:
 	$(GO) test -run '^$$' -bench 'BenchmarkLiveEngine|BenchmarkLiveColumnIO' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR6.json
+
+# Observability overhead guard (the PR 7 perf artifact): the heaviest
+# multi-table bench run dark vs fully instrumented (metrics registry +
+# pprof scan labels + tracer to io.Discard), shared files and plans, plus
+# the enforcement test TestObsOverheadAB — interleaved off/on rounds with
+# alternating order, medians compared, fail at ≥2% overhead. The A/B needs
+# an otherwise idle machine to mean anything, hence its own target.
+bench-obs:
+	COOPSCAN_OBS_AB=1 $(GO) test -run 'TestObsOverheadAB' -count=1 -v -bench 'BenchmarkObsOverhead' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR7.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

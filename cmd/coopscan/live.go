@@ -1,19 +1,14 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"sync"
 	"time"
 
-	"coopscan/internal/core"
 	"coopscan/internal/engine"
-	"coopscan/internal/exec"
 	"coopscan/internal/iofault"
 )
 
@@ -39,6 +34,9 @@ func runLive(args []string) {
 	queries := fs.Int("queries", 2, "queries per stream")
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
 	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
+	measureSched := fs.Bool("measure-sched", false, "meter scheduling decisions and report sched-ns/decision")
+	httpAddr := fs.String("http", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :9090)")
+	tracePath := fs.String("trace", "", "write a Perfetto-loadable scan-timeline trace to this file")
 	faultPlan := fs.String("fault-plan", "", "injected-fault plan, e.g. transient=0.2,short=0.05,corrupt=0.01,latency=0.1:2ms,bad=OFF:LEN (empty = no faults)")
 	faultSeed := fs.Uint64("fault-seed", 1, "fault injection seed (same plan+seed injects identically)")
 	verbose := fs.Bool("v", false, "print per-query latencies")
@@ -64,6 +62,12 @@ func runLive(args []string) {
 		fmt.Fprintln(os.Stderr, "coopscan live:", err)
 		os.Exit(2)
 	}
+	rig, err := newObsRig(*httpAddr, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan live:", err)
+		os.Exit(2)
+	}
+	defer rig.Close()
 	fmt.Printf("table: %s (%s, %d rows, %d chunks × %s, %s total)\n",
 		tf.Path(), tf.Format(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
 		fmtBytes(int64(tf.NumChunks())*tf.ChunkBytes()))
@@ -74,7 +78,20 @@ func runLive(args []string) {
 	fmt.Println()
 
 	for _, pol := range policies {
-		res, err := runLivePolicy(tf, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, injectors != nil, *verbose)
+		res, err := runPolicy(runSpec{
+			tfs:          []*engine.TableFile{tf},
+			policy:       pol,
+			bufferBytes:  *bufferMB << 20,
+			inflight:     *inflight,
+			readBW:       *readMBs << 20,
+			streams:      *streams,
+			queries:      *queries,
+			seed:         *seed,
+			stagger:      *stagger,
+			measureSched: *measureSched,
+			faulty:       injectors != nil,
+			verbose:      *verbose,
+		}, rig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan live:", err)
 			os.Exit(1)
@@ -127,18 +144,6 @@ func printInjectorStats(injs []*iofault.Injector) {
 		total.Injected(), total.Reads, total.Transients, total.Shorts, total.Corruptions, total.BadReads, total.Delays)
 }
 
-func parsePolicies(s string) ([]core.Policy, error) {
-	if s == "all" {
-		return core.Policies, nil
-	}
-	for _, p := range core.Policies {
-		if p.String() == s {
-			return []core.Policy{p}, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown policy %q", s)
-}
-
 // openOrCreate opens the table file, generating it only when the path does
 // not exist yet. An existing file that fails to open, or that stores the
 // other physical format, is an error — never overwritten (the user may have
@@ -162,148 +167,4 @@ func openOrCreate(path string, format engine.Format, rows, tpc int64, seed uint6
 	}
 	fmt.Printf("generating %s ...\n", path)
 	return engine.CreateFormat(path, format, rows, tpc, seed)
-}
-
-// liveOutcome is one executed query.
-type liveOutcome struct {
-	name    string
-	chunks  int
-	latency time.Duration
-	useful  int64
-}
-
-// liveResult is one policy's aggregate outcome.
-type liveResult struct {
-	policy      core.Policy
-	total       time.Duration
-	outcomes    []liveOutcome
-	stats       engine.SystemStats
-	realBytes   int64
-	usefulBytes int64
-	unavailable int // scans failed by quarantined parts (fault runs only)
-	verbose     bool
-}
-
-func runLivePolicy(tf *engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, faulty, verbose bool) (*liveResult, error) {
-	eng, err := engine.New(tf, engine.Config{Policy: pol, BufferBytes: bufferBytes, InFlightDepth: inflight, ReadBandwidth: readBW})
-	if err != nil {
-		return nil, err
-	}
-	defer eng.Close()
-	plan := engine.PlanWorkload(tf.NumChunks(), streams, queries, seed)
-	res := &liveResult{policy: pol, verbose: verbose}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	start := time.Now()
-	for s := range plan {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			time.Sleep(time.Duration(s) * stagger)
-			for _, q := range plan[s] {
-				qStart := time.Now()
-				st, err := eng.Scan(q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
-				mu.Lock()
-				if err != nil {
-					// Under an active fault plan a quarantined part fails
-					// exactly the scans that need it; that is the designed
-					// outcome, not a run-aborting error.
-					if faulty && errors.Is(err, engine.ErrChunkUnavailable) {
-						res.unavailable++
-					} else if firstErr == nil {
-						firstErr = err
-					}
-				}
-				res.outcomes = append(res.outcomes, liveOutcome{
-					name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
-					useful: st.BytesUseful,
-				})
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	res.total = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	res.stats = eng.Stats()
-	res.realBytes = res.stats.Pool.BytesLoaded
-	for _, o := range res.outcomes {
-		res.usefulBytes += o.useful
-	}
-	sort.Slice(res.outcomes, func(i, j int) bool { return res.outcomes[i].name < res.outcomes[j].name })
-	return res, nil
-}
-
-// liveOnChunk returns the per-chunk execution body: the FAST Q6 kernel, or
-// the SLOW Q1 kernel with extra arithmetic.
-func liveOnChunk(slow bool) func(int, engine.ChunkData) {
-	if slow {
-		return func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
-	}
-	pred := exec.DefaultQ6()
-	return func(_ int, d engine.ChunkData) { engine.Q6Chunk(d, pred) }
-}
-
-// usefulFraction is bytes-consumed / bytes-read: above 1 means cross-query
-// sharing served more projection bytes than the device delivered; well
-// below 1 means the layout read bytes no query used (NSM's row-width tax).
-func usefulFraction(useful, read int64) float64 {
-	if read <= 0 {
-		return 0
-	}
-	return float64(useful) / float64(read)
-}
-
-func (r *liveResult) String() string {
-	var sum, max time.Duration
-	for _, o := range r.outcomes {
-		sum += o.latency
-		if o.latency > max {
-			max = o.latency
-		}
-	}
-	avg := time.Duration(0)
-	if len(r.outcomes) > 0 {
-		avg = sum / time.Duration(len(r.outcomes))
-	}
-	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
-	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  loads %4d  evict %4d  read %8s (%.0f MiB/s)  useful %8s (%.2fx)\n",
-		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond), max.Round(time.Millisecond),
-		r.stats.ABM.Loads, r.stats.ABM.Evictions, fmtBytes(r.realBytes), bw,
-		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
-	out += faultLine(r.stats.Faults, r.unavailable)
-	if r.verbose {
-		for _, o := range r.outcomes {
-			out += fmt.Sprintf("  %-10s %4d chunks  %8v  useful %8s\n",
-				o.name, o.chunks, o.latency.Round(time.Millisecond), fmtBytes(o.useful))
-		}
-	}
-	return out
-}
-
-// faultLine renders the server's fault-handling counters, or nothing when
-// the run saw no fault activity at all (the fault-free fast path stays
-// silent).
-func faultLine(f engine.FaultStats, unavailable int) string {
-	if f == (engine.FaultStats{}) && unavailable == 0 {
-		return ""
-	}
-	return fmt.Sprintf("  faults: %d retries, %d checksum, %d quarantined parts, %d failed scans, %d cancelled\n",
-		f.Retries, f.ChecksumErrors, f.QuarantinedParts, f.FailedScans, f.CancelledScans)
-}
-
-func fmtBytes(n int64) string {
-	switch {
-	case n >= 1<<30:
-		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
-	}
-	return fmt.Sprintf("%d B", n)
 }

@@ -1,16 +1,12 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"sync"
 	"time"
 
-	"coopscan/internal/core"
 	"coopscan/internal/engine"
 )
 
@@ -36,6 +32,8 @@ func runMulti(args []string) {
 	policy := fs.String("policy", "all", "normal|attach|elevator|relevance|all")
 	stagger := fs.Duration("stagger", 20*time.Millisecond, "delay between stream starts")
 	measureSched := fs.Bool("measure-sched", false, "meter scheduling decisions and report sched-ns/decision")
+	httpAddr := fs.String("http", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. :9090)")
+	tracePath := fs.String("trace", "", "write a Perfetto-loadable scan-timeline trace to this file")
 	faultPlan := fs.String("fault-plan", "", "injected-fault plan, e.g. transient=0.2,short=0.05,corrupt=0.01,latency=0.1:2ms,bad=OFF:LEN (empty = no faults)")
 	faultSeed := fs.Uint64("fault-seed", 1, "fault injection seed (per-table injectors seeded seed+i)")
 	verbose := fs.Bool("v", false, "print per-query latencies")
@@ -74,6 +72,12 @@ func runMulti(args []string) {
 		fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 		os.Exit(2)
 	}
+	rig, err := newObsRig(*httpAddr, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopscan multi:", err)
+		os.Exit(2)
+	}
+	defer rig.Close()
 	var footprint int64
 	for _, tf := range tfs {
 		footprint += int64(tf.NumChunks()) * tf.ChunkBytes()
@@ -88,7 +92,20 @@ func runMulti(args []string) {
 	fmt.Println()
 
 	for _, pol := range policies {
-		res, err := runMultiPolicy(tfs, pol, *bufferMB<<20, *inflight, *readMBs<<20, *streams, *queries, *seed, *stagger, *measureSched, injectors != nil, *verbose)
+		res, err := runPolicy(runSpec{
+			tfs:          tfs,
+			policy:       pol,
+			bufferBytes:  *bufferMB << 20,
+			inflight:     *inflight,
+			readBW:       *readMBs << 20,
+			streams:      *streams,
+			queries:      *queries,
+			seed:         *seed,
+			stagger:      *stagger,
+			measureSched: *measureSched,
+			faulty:       injectors != nil,
+			verbose:      *verbose,
+		}, rig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 			os.Exit(1)
@@ -96,144 +113,4 @@ func runMulti(args []string) {
 		fmt.Print(res)
 	}
 	printInjectorStats(injectors)
-}
-
-// multiResult is one policy's outcome across all tables.
-type multiResult struct {
-	policy      core.Policy
-	total       time.Duration
-	perTable    [][]liveOutcome
-	stats       engine.ServerStats
-	realBytes   int64
-	usefulBytes int64
-	unavailable int // scans failed by quarantined parts (fault runs only)
-	verbose     bool
-}
-
-func runMultiPolicy(tfs []*engine.TableFile, pol core.Policy, bufferBytes int64, inflight int, readBW int64, streams, queries int, seed uint64, stagger time.Duration, measureSched, faulty, verbose bool) (*multiResult, error) {
-	srv, err := engine.NewServer(engine.ServerConfig{
-		Policy:            pol,
-		BufferBytes:       bufferBytes,
-		InFlightDepth:     inflight,
-		ReadBandwidth:     readBW,
-		MeasureScheduling: measureSched,
-	}, tfs...)
-	if err != nil {
-		return nil, err
-	}
-	defer srv.Close()
-	res := &multiResult{policy: pol, verbose: verbose, perTable: make([][]liveOutcome, len(tfs))}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	start := time.Now()
-	for table := range tfs {
-		table := table
-		// Each table runs the standard planned workload, seeded per table so
-		// streams over different tables are decorrelated.
-		plan := engine.PlanWorkload(tfs[table].NumChunks(), streams, queries, seed+uint64(table))
-		for s := range plan {
-			s := s
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				time.Sleep(time.Duration(s) * stagger)
-				for _, q := range plan[s] {
-					qStart := time.Now()
-					st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
-					mu.Lock()
-					if err != nil {
-						// Quarantine failures are the designed outcome of an
-						// active fault plan, not a run-aborting error.
-						if faulty && errors.Is(err, engine.ErrChunkUnavailable) {
-							res.unavailable++
-						} else if firstErr == nil {
-							firstErr = err
-						}
-					}
-					res.perTable[table] = append(res.perTable[table], liveOutcome{
-						name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
-						useful: st.BytesUseful,
-					})
-					mu.Unlock()
-				}
-			}()
-		}
-	}
-	wg.Wait()
-	res.total = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	res.stats = srv.Stats()
-	res.realBytes = res.stats.Pool.BytesLoaded
-	for _, outs := range res.perTable {
-		for _, o := range outs {
-			res.usefulBytes += o.useful
-		}
-	}
-	for table := range res.perTable {
-		sort.Slice(res.perTable[table], func(i, j int) bool {
-			return res.perTable[table][i].name < res.perTable[table][j].name
-		})
-	}
-	return res, nil
-}
-
-func (r *multiResult) String() string {
-	var sum, max time.Duration
-	n := 0
-	for _, outs := range r.perTable {
-		for _, o := range outs {
-			sum += o.latency
-			if o.latency > max {
-				max = o.latency
-			}
-			n++
-		}
-	}
-	avg := time.Duration(0)
-	if n > 0 {
-		avg = sum / time.Duration(n)
-	}
-	bw := float64(r.realBytes) / r.total.Seconds() / (1 << 20)
-	out := fmt.Sprintf("%-9s total %8v  avg %8v  max %8v  read %8s (%.0f MiB/s)  useful %8s (%.2fx)\n",
-		r.policy, r.total.Round(time.Millisecond), avg.Round(time.Millisecond),
-		max.Round(time.Millisecond), fmtBytes(r.realBytes), bw,
-		fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
-	out += faultLine(r.stats.Faults, r.unavailable)
-	var schedNanos, schedCalls int64
-	for _, ts := range r.stats.Tables {
-		schedNanos += ts.SchedNanos
-		schedCalls += ts.SchedCalls
-	}
-	if schedCalls > 0 {
-		out += fmt.Sprintf("  scheduling: %d decisions, %.0f ns/decision\n",
-			schedCalls, float64(schedNanos)/float64(schedCalls))
-	}
-	for table, outs := range r.perTable {
-		var tSum, tMax time.Duration
-		var tUseful int64
-		for _, o := range outs {
-			tSum += o.latency
-			if o.latency > tMax {
-				tMax = o.latency
-			}
-			tUseful += o.useful
-		}
-		tAvg := time.Duration(0)
-		if len(outs) > 0 {
-			tAvg = tSum / time.Duration(len(outs))
-		}
-		ts := r.stats.Tables[table]
-		out += fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  useful %8s  budget %s\n",
-			ts.Name, tAvg.Round(time.Millisecond), tMax.Round(time.Millisecond),
-			ts.ABM.Loads, ts.ABM.Evictions, fmtBytes(ts.ABM.BytesRead), fmtBytes(tUseful), fmtBytes(ts.BudgetBytes))
-		if r.verbose {
-			for _, o := range outs {
-				out += fmt.Sprintf("    %-10s %4d chunks  %8v\n", o.name, o.chunks, o.latency.Round(time.Millisecond))
-			}
-		}
-	}
-	return out
 }

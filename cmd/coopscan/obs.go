@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"coopscan/internal/engine"
+	"coopscan/internal/obs"
+)
+
+// obsRig wires the -http and -trace flags into the live runner: one metrics
+// registry and one trace file shared across an invocation's sequential
+// policy runs (counters accumulate Prometheus-style; every policy's tracks
+// land in the one Perfetto-loadable trace), and a debug HTTP server whose
+// /statusz follows whichever server is currently running. A nil rig is the
+// disabled state — every method no-ops — so callers thread it without
+// guards.
+type obsRig struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	dbg    *obs.DebugServer
+	// srv is the server /statusz snapshots, swapped atomically as policy
+	// runs start and finish (the HTTP handler reads it concurrently).
+	srv atomic.Pointer[engine.Server]
+}
+
+// newObsRig builds the rig from the flag values; both empty returns a nil
+// (disabled) rig. The caller must Close it.
+func newObsRig(httpAddr, tracePath string) (*obsRig, error) {
+	if httpAddr == "" && tracePath == "" {
+		return nil, nil
+	}
+	r := &obsRig{reg: obs.NewRegistry()}
+	if tracePath != "" {
+		t, err := obs.CreateTrace(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		r.tracer = t
+	}
+	if httpAddr != "" {
+		d, err := obs.ListenAndServe(httpAddr, r.reg, r.statusz)
+		if err != nil {
+			r.tracer.Close()
+			return nil, fmt.Errorf("-http: %w", err)
+		}
+		r.dbg = d
+		fmt.Printf("debug: http://%s/metrics /statusz /debug/pprof/\n", d.Addr())
+	}
+	return r, nil
+}
+
+// registry returns the rig's metrics registry (nil when disabled).
+func (r *obsRig) registry() *obs.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// trace returns the rig's tracer (nil when disabled).
+func (r *obsRig) trace() *obs.Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// setServer points /statusz at the given server (nil between runs).
+func (r *obsRig) setServer(s *engine.Server) {
+	if r != nil {
+		r.srv.Store(s)
+	}
+}
+
+// statusz is the /statusz snapshot source: the current server's Status, or
+// nil between policy runs.
+func (r *obsRig) statusz() any {
+	if s := r.srv.Load(); s != nil {
+		return s.StatusSnapshot()
+	}
+	return nil
+}
+
+// Close stops the debug server and finalises the trace file.
+func (r *obsRig) Close() {
+	if r == nil {
+		return
+	}
+	r.dbg.Close()
+	if err := r.tracer.Close(); err != nil {
+		fmt.Printf("trace: close: %v\n", err)
+	}
+}

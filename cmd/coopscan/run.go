@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"coopscan/internal/core"
+	"coopscan/internal/engine"
+	"coopscan/internal/exec"
+)
+
+// runSpec parameterises one policy run of the shared live runner: the
+// tables to serve (one for `live`, several for `multi`), the server shape,
+// and the workload. Per-table workloads are seeded seed+table, so a
+// single-table run reproduces the historical `live` seeding exactly.
+type runSpec struct {
+	tfs          []*engine.TableFile
+	policy       core.Policy
+	bufferBytes  int64
+	inflight     int
+	readBW       int64
+	streams      int
+	queries      int
+	seed         uint64
+	stagger      time.Duration
+	measureSched bool
+	faulty       bool
+	verbose      bool
+}
+
+// runPolicy builds one engine.Server over the spec's tables, drives the
+// planned workload (streams × queries per table, staggered starts) to
+// completion, and returns the outcomes with the server's final /statusz
+// snapshot. It is the one runner behind both the live and multi
+// subcommands.
+func runPolicy(spec runSpec, rig *obsRig) (*runResult, error) {
+	cfg := engine.ServerConfig{
+		Policy:            spec.policy,
+		BufferBytes:       spec.bufferBytes,
+		InFlightDepth:     spec.inflight,
+		ReadBandwidth:     spec.readBW,
+		MeasureScheduling: spec.measureSched,
+		Obs:               rig.registry(),
+		Trace:             rig.trace(),
+	}
+	srv, err := engine.NewServer(cfg, spec.tfs...)
+	if err != nil {
+		return nil, err
+	}
+	rig.setServer(srv)
+	defer rig.setServer(nil)
+	defer srv.Close()
+	res := &runResult{policy: spec.policy, verbose: spec.verbose, perTable: make([][]liveOutcome, len(spec.tfs))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	start := time.Now()
+	for table := range spec.tfs {
+		table := table
+		// Each table runs the standard planned workload, seeded per table so
+		// streams over different tables are decorrelated.
+		plan := engine.PlanWorkload(spec.tfs[table].NumChunks(), spec.streams, spec.queries, spec.seed+uint64(table))
+		for s := range plan {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(time.Duration(s) * spec.stagger)
+				for _, q := range plan[s] {
+					qStart := time.Now()
+					st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
+					mu.Lock()
+					if err != nil {
+						// Under an active fault plan a quarantined part fails
+						// exactly the scans that need it; that is the designed
+						// outcome, not a run-aborting error.
+						if spec.faulty && errors.Is(err, engine.ErrChunkUnavailable) {
+							res.unavailable++
+						} else if firstErr == nil {
+							firstErr = err
+						}
+					}
+					res.perTable[table] = append(res.perTable[table], liveOutcome{
+						name: q.Name, chunks: st.Chunks, latency: time.Since(qStart),
+						useful: st.BytesUseful,
+					})
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	res.total = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.status = srv.StatusSnapshot()
+	res.realBytes = res.status.Pool.BytesLoaded
+	for _, outs := range res.perTable {
+		for _, o := range outs {
+			res.usefulBytes += o.useful
+		}
+	}
+	for table := range res.perTable {
+		sort.Slice(res.perTable[table], func(i, j int) bool {
+			return res.perTable[table][i].name < res.perTable[table][j].name
+		})
+	}
+	return res, nil
+}
+
+// liveOnChunk returns the per-chunk execution body: the FAST Q6 kernel, or
+// the SLOW Q1 kernel with extra arithmetic.
+func liveOnChunk(slow bool) func(int, engine.ChunkData) {
+	if slow {
+		return func(_ int, d engine.ChunkData) { engine.Q1Chunk(d, 700, 8) }
+	}
+	pred := exec.DefaultQ6()
+	return func(_ int, d engine.ChunkData) { engine.Q6Chunk(d, pred) }
+}
+
+func parsePolicies(s string) ([]core.Policy, error) {
+	if s == "all" {
+		return core.Policies, nil
+	}
+	for _, p := range core.Policies {
+		if p.String() == s {
+			return []core.Policy{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", s)
+}

@@ -15,6 +15,8 @@ package bufferpool
 import (
 	"errors"
 	"fmt"
+
+	"coopscan/internal/obs"
 )
 
 // PageID identifies a page on the underlying store.
@@ -87,6 +89,32 @@ type Pool struct {
 	// the call (the frame is gone), so callers use it to recycle page
 	// buffers instead of re-allocating per read.
 	onEvict func(id PageID, data []byte)
+
+	// pinned counts resident pages with pins > 0, maintained incrementally
+	// on the 0↔1 pin transitions so the metrics gauge never needs a scan.
+	pinned int
+	m      Metrics
+}
+
+// Metrics observes the pool live. The handles are obs metric series
+// (nil-safe), so the zero value disables observation; the engine resolves
+// them from its registry and installs them with SetMetrics. Gauges track
+// page counts (occupancy, pinned); counters mirror Stats cumulatively.
+type Metrics struct {
+	Resident    *obs.Gauge
+	Pinned      *obs.Gauge
+	Hits        *obs.Counter
+	Misses      *obs.Counter
+	Evictions   *obs.Counter
+	BytesLoaded *obs.Counter
+}
+
+// SetMetrics installs the pool's metric handles (see Metrics) and primes the
+// gauges with the current state. The zero value turns observation back off.
+func (p *Pool) SetMetrics(m Metrics) {
+	p.m = m
+	m.Resident.Set(int64(len(p.frames)))
+	m.Pinned.Set(int64(p.pinned))
 }
 
 // SetEvictObserver installs the frame-eviction observer (see Pool.onEvict).
@@ -116,12 +144,18 @@ func (p *Pool) Pin(id PageID) ([]byte, error) {
 	p.tick++
 	if f, ok := p.frames[id]; ok {
 		p.stats.Hits++
+		p.m.Hits.Inc()
 		f.pins++
+		if f.pins == 1 {
+			p.pinned++
+			p.m.Pinned.Add(1)
+		}
 		f.lastUsed = p.tick
 		f.refBit = true
 		return f.data, nil
 	}
 	p.stats.Misses++
+	p.m.Misses.Inc()
 	if len(p.frames) >= p.capacity {
 		if err := p.evictOne(); err != nil {
 			return nil, err
@@ -132,9 +166,13 @@ func (p *Pool) Pin(id PageID) ([]byte, error) {
 		return nil, fmt.Errorf("bufferpool: load page %d: %w", id, err)
 	}
 	p.stats.BytesLoaded += int64(len(data))
+	p.m.BytesLoaded.Add(int64(len(data)))
 	f := &frame{id: id, data: data, pins: 1, lastUsed: p.tick, loadedAt: p.tick, refBit: true}
 	p.frames[id] = f
 	p.order = append(p.order, f)
+	p.pinned++
+	p.m.Pinned.Add(1)
+	p.m.Resident.Set(int64(len(p.frames)))
 	return f.data, nil
 }
 
@@ -145,6 +183,10 @@ func (p *Pool) Unpin(id PageID) {
 		panic(fmt.Sprintf("bufferpool: Unpin(%d) without pin", id))
 	}
 	f.pins--
+	if f.pins == 0 {
+		p.pinned--
+		p.m.Pinned.Add(-1)
+	}
 }
 
 // Contains reports whether the page is resident (pinned or not).
@@ -155,6 +197,9 @@ func (p *Pool) Contains(id PageID) bool {
 
 // Resident returns the number of resident pages.
 func (p *Pool) Resident() int { return len(p.frames) }
+
+// Pinned returns the number of resident pages with at least one pin.
+func (p *Pool) Pinned() int { return p.pinned }
 
 // Stats returns a copy of the counters.
 func (p *Pool) Stats() Stats { return p.stats }
@@ -231,6 +276,8 @@ func (p *Pool) remove(f *frame) {
 		}
 	}
 	p.stats.Evictions++
+	p.m.Evictions.Inc()
+	p.m.Resident.Set(int64(len(p.frames)))
 	if p.onEvict != nil {
 		p.onEvict(f.id, f.data)
 		f.data = nil

@@ -4,9 +4,22 @@ import (
 	"fmt"
 
 	"coopscan/internal/disk"
+	"coopscan/internal/obs"
 	"coopscan/internal/sim"
 	"coopscan/internal/storage"
 )
+
+// ManagerMetrics observes the budget arbiter. The handles are obs metric
+// series (nil-safe), so the zero value disables observation entirely; the
+// live engine resolves them from its registry and installs them with
+// SetMetrics.
+type ManagerMetrics struct {
+	// Rebalances counts arbiter runs (Rebalance calls).
+	Rebalances *obs.Counter
+	// GrantBytes tracks each table's current grant, labelled by the table's
+	// registration name.
+	GrantBytes *obs.GaugeVec
+}
 
 // Manager routes cooperative scans across multiple (large) tables that
 // share one disk and one buffer budget — the paper's §7.1 requirement that
@@ -40,7 +53,13 @@ type Manager struct {
 
 	tables map[string]*ABM
 	order  []string
+
+	metrics ManagerMetrics
 }
+
+// SetMetrics installs the arbiter's metric handles (see ManagerMetrics).
+// Call it before queries run; the zero value turns observation back off.
+func (m *Manager) SetMetrics(mm ManagerMetrics) { m.metrics = mm }
 
 // NewManager creates an empty simulation-mode manager; tables are attached
 // with Attach.
@@ -245,6 +264,12 @@ func (m *Manager) Rebalance(total int64) []int64 {
 	}
 	for i, name := range m.order {
 		m.tables[name].SetBufferBytes(grants[i])
+	}
+	m.metrics.Rebalances.Inc()
+	if m.metrics.GrantBytes != nil {
+		for i, name := range m.order {
+			m.metrics.GrantBytes.With(name).Set(grants[i])
+		}
 	}
 	return grants
 }

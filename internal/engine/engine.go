@@ -6,6 +6,7 @@ import (
 
 	"coopscan/internal/bufferpool"
 	"coopscan/internal/core"
+	"coopscan/internal/obs"
 	"coopscan/internal/storage"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	// fault domain's retry budget and backoff base (0 = defaults).
 	LoadRetries  int
 	RetryBackoff time.Duration
+	// MeasureScheduling forwards to ServerConfig.MeasureScheduling: meter
+	// the wall-clock cost of the policy's scheduling decisions.
+	MeasureScheduling bool
+	// Obs and Trace forward to ServerConfig: an optional metrics registry
+	// and scan-timeline tracer (nil = observability off).
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // SystemStats aggregates a run's counters across both accounting layers:
@@ -54,15 +62,18 @@ type Engine struct {
 // load workers. Close must be called to stop them.
 func New(tf *TableFile, cfg Config) (*Engine, error) {
 	srv, err := NewServer(ServerConfig{
-		Policy:          cfg.Policy,
-		BufferBytes:     cfg.BufferBytes,
-		InFlightDepth:   cfg.InFlightDepth,
-		StarveThreshold: cfg.StarveThreshold,
-		ElevatorWindow:  cfg.ElevatorWindow,
-		Prefetch:        cfg.Prefetch,
-		ReadBandwidth:   cfg.ReadBandwidth,
-		LoadRetries:     cfg.LoadRetries,
-		RetryBackoff:    cfg.RetryBackoff,
+		Policy:            cfg.Policy,
+		BufferBytes:       cfg.BufferBytes,
+		InFlightDepth:     cfg.InFlightDepth,
+		StarveThreshold:   cfg.StarveThreshold,
+		ElevatorWindow:    cfg.ElevatorWindow,
+		Prefetch:          cfg.Prefetch,
+		ReadBandwidth:     cfg.ReadBandwidth,
+		LoadRetries:       cfg.LoadRetries,
+		RetryBackoff:      cfg.RetryBackoff,
+		MeasureScheduling: cfg.MeasureScheduling,
+		Obs:               cfg.Obs,
+		Trace:             cfg.Trace,
 	}, tf)
 	if err != nil {
 		return nil, err
@@ -94,6 +105,10 @@ func (e *Engine) Stats() SystemStats {
 	st := e.srv.Stats()
 	return SystemStats{ABM: st.Tables[0].ABM, Pool: st.Pool, Faults: st.Faults}
 }
+
+// Server returns the underlying multi-table server, for callers that need
+// its full surface (StatusSnapshot, Budgets) on a single-table engine.
+func (e *Engine) Server() *Server { return e.srv }
 
 // Close stops the scheduler and workers and releases all chunk views.
 // Outstanding Scans are woken and return ErrClosed.

@@ -21,6 +21,7 @@ import (
 	"coopscan/internal/core"
 	"coopscan/internal/exec"
 	"coopscan/internal/iofault"
+	"coopscan/internal/obs"
 	"coopscan/internal/storage"
 )
 
@@ -338,10 +339,12 @@ func runFaultSoak(t *testing.T, seed uint64, pol core.Policy) {
 	planD.BadRanges = []iofault.Range{{Off: off, Len: size}}
 	injD := injectFaults(dsm, planD, seed*2+2)
 
+	reg := obs.NewRegistry()
 	srv, err := NewServer(ServerConfig{
 		Policy:      pol,
 		BufferBytes: 4 * (nsm.ChunkBytes() + dsm.ChunkBytes()),
 		LoadRetries: 8, RetryBackoff: 50 * time.Microsecond,
+		Obs: reg,
 	}, nsm, dsm)
 	if err != nil {
 		t.Fatal(err)
@@ -461,6 +464,26 @@ func runFaultSoak(t *testing.T, seed uint64, pol core.Policy) {
 	// every table passes the quiescent-state audit afterwards.
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close after soak: %v", err)
+	}
+
+	// After Close every worker has drained, so the registry's fault counters
+	// must agree with the server's own FaultStats field for field — the
+	// metrics are incremented at exactly the same sites.
+	final := srv.Stats().Faults
+	m := scrapeMetrics(t, reg)
+	for _, c := range []struct {
+		metric string
+		want   int64
+	}{
+		{"coopscan_fault_retries_total", final.Retries},
+		{"coopscan_fault_checksum_errors_total", final.ChecksumErrors},
+		{"coopscan_fault_quarantined_parts_total", final.QuarantinedParts},
+		{"coopscan_fault_failed_scans_total", final.FailedScans},
+		{"coopscan_fault_cancelled_scans_total", final.CancelledScans},
+	} {
+		if got := int64(m[c.metric]); got != c.want {
+			t.Errorf("%s = %d, want %d (FaultStats disagrees with scrape)", c.metric, got, c.want)
+		}
 	}
 	srv.mu.Lock()
 	defer srv.mu.Unlock()

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"coopscan/internal/bufferpool"
 	"coopscan/internal/core"
+	"coopscan/internal/obs"
 	"coopscan/internal/storage"
 )
 
@@ -93,6 +95,18 @@ type ServerConfig struct {
 	// 1ms): attempt k sleeps base × 2^k, jittered to [50%, 150%), capped at
 	// 100 × base. Tests shrink it to keep fault soaks fast.
 	RetryBackoff time.Duration
+	// Obs, when non-nil, is the metrics registry the server instruments
+	// itself into: scheduler decision latency, load read/verify/pin latency
+	// and bytes, in-flight depth, fault counters, per-scan wall latency,
+	// the shared pool's occupancy and the arbiter's grants. One registry may
+	// serve several sequential servers (counters accumulate, Prometheus
+	// style). Nil disables metrics at nil-check cost.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives the scan-timeline trace: one track per
+	// query stream, per-table load-pipeline lanes, and instant events for
+	// scheduler decisions, evictions, rebalances and quarantines. The caller
+	// owns the tracer (and its Close). Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 const (
@@ -167,6 +181,9 @@ type serverTable struct {
 	// them and scans that still need them fail with ErrChunkUnavailable;
 	// everything else proceeds. Guarded by the server mutex.
 	quarantine map[partID]error
+	// o holds the table's pre-resolved metric series and trace-lane
+	// freelist (see internal/engine/obs.go); zero when observability is off.
+	o tableObs
 }
 
 // partPages returns the global pool-page run backing one part.
@@ -212,6 +229,11 @@ type loadJob struct {
 	d       core.LoadDecision
 	marked  storage.ColSet
 	missing []bufferpool.PageID
+	// lane is the job's load-pipeline trace track (zero, and thus no-op,
+	// when tracing is off); issuedAt timestamps the issue for the queued
+	// span and is set only when observability is enabled.
+	lane     obs.Track
+	issuedAt time.Time
 }
 
 // wallClock is the live ABM clock: seconds since server start.
@@ -281,6 +303,12 @@ type Server struct {
 	closed bool
 	err    error
 
+	// start anchors wall-clock uptime (and the ABM clock's zero).
+	start time.Time
+	// o holds the server's metric handles and tracer (nil-safe throughout;
+	// see internal/engine/obs.go).
+	o serverObs
+
 	// faults are the fault-handling counters (retries, quarantines,
 	// cancellations); guarded by mu.
 	faults FaultStats
@@ -345,15 +373,18 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 		jitter:    rand.New(rand.NewSource(1)),
 		loadCh:    make(chan loadJob, cfg.InFlightDepth),
 		schedDone: make(chan struct{}),
+		start:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.mgr = core.NewLiveManager(wallClock{start: time.Now()}, core.Config{
+	s.o = newServerObs(cfg.Obs, cfg.Trace)
+	s.mgr = core.NewLiveManager(wallClock{start: s.start}, core.Config{
 		Policy:            cfg.Policy,
 		StarveThreshold:   cfg.StarveThreshold,
 		ElevatorWindow:    cfg.ElevatorWindow,
 		Prefetch:          cfg.Prefetch,
 		MeasureScheduling: cfg.MeasureScheduling,
 	})
+	s.mgr.SetMetrics(managerMetrics(cfg.Obs))
 	for i, tf := range tfs {
 		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
 		t := &serverTable{
@@ -378,7 +409,13 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 				v.Release()
 				delete(t.views, k)
 			}
+			if s.o.tracer != nil {
+				s.o.schedTrack.Instant("evict", obs.Args{"table": t.name, "chunk": chunk, "col": col})
+			}
 		})
+		t.o.sched = s.o.schedSeconds.With(name, cfg.Policy.String())
+		t.o.scan = s.o.scanSeconds.With(name, cfg.Policy.String())
+		t.o.useful = s.o.usefulBytes.With(name)
 		s.tables = append(s.tables, t)
 	}
 	s.mgr.Rebalance(cfg.BufferBytes)
@@ -387,12 +424,16 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	// crumbs and the in-flight loads' staging turnover.
 	frames := int(cfg.BufferBytes/minPage) + cfg.InFlightDepth*NumCols + len(tfs)
 	s.pool = bufferpool.New(frames, bufferpool.LRU, s.readPage)
+	s.pool.SetMetrics(poolMetrics(cfg.Obs))
 	s.stripeBufs = make(map[int64]*sync.Pool)
 	for _, tf := range tfs {
 		for j := 0; j < NumCols; j++ {
 			size := tf.ColStripeBytes(j)
 			if _, ok := s.stripeBufs[size]; !ok {
-				s.stripeBufs[size] = &sync.Pool{New: func() any { return make([]byte, size) }}
+				s.stripeBufs[size] = &sync.Pool{New: func() any {
+					s.o.recycleAllocs.Inc()
+					return make([]byte, size)
+				}}
 			}
 		}
 	}
@@ -422,6 +463,7 @@ func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
 	}
 	t := s.tables[int(int64(id)/pageStride)]
 	local := int64(id) % pageStride
+	s.o.recycleGets.Inc()
 	buf := s.stripeBufs[t.tf.PageBytes(local)].Get().([]byte)
 	if err := t.tf.ReadPage(local, buf); err != nil {
 		s.stripeBufs[int64(len(buf))].Put(buf)
@@ -475,7 +517,10 @@ func (s *Server) maybeRebalance() {
 		}
 	}
 	if changed || draining {
-		s.mgr.Rebalance(s.cfg.BufferBytes)
+		grants := s.mgr.Rebalance(s.cfg.BufferBytes)
+		if s.o.tracer != nil {
+			s.o.schedTrack.Instant("rebalance", obs.Args{"grants": grants})
+		}
 	}
 }
 
@@ -507,6 +552,10 @@ func (s *Server) issueOne() bool {
 	for off := 0; off < n; off++ {
 		i := (s.rr + off) % n
 		t := s.tables[i]
+		var decStart time.Time
+		if s.o.enabled {
+			decStart = time.Now()
+		}
 		d, ok := t.pol.NextLoad()
 		if !ok {
 			continue
@@ -546,9 +595,19 @@ func (s *Server) issueOne() bool {
 			}
 		})
 		s.inFlight++
+		s.o.inflight.Add(1)
 		s.rr = (i + 1) % n
+		job := loadJob{t: t, d: d, marked: marked, missing: missing}
+		if s.o.enabled {
+			job.issuedAt = time.Now()
+			t.o.sched.Observe(job.issuedAt.Sub(decStart).Seconds())
+			if s.o.tracer != nil {
+				job.lane = t.acquireLane(s.o.tracer)
+				s.o.schedTrack.Instant("load", obs.Args{"table": t.name, "chunk": d.Chunk})
+			}
+		}
 		// Never blocks: inFlight < depth == cap(loadCh) and workers drain.
-		s.loadCh <- loadJob{t: t, d: d, marked: marked, missing: missing}
+		s.loadCh <- job
 		return true
 	}
 	return false
@@ -571,7 +630,19 @@ func (s *Server) issueOne() bool {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for job := range s.loadCh {
-		bufs, err := s.readMissing(job.t, job.missing)
+		bufs, iost, err := s.readMissing(job.t, job.missing)
+		if job.lane != (obs.Track{}) {
+			// Lane spans: queue wait, then the coalesced read with its
+			// accumulated verify time rendered as a trailing span.
+			if iost.bytes > 0 {
+				job.lane.SpanAt("queued", job.issuedAt, iost.start, nil)
+				vStart := iost.end.Add(-iost.verify)
+				job.lane.SpanAt("read", iost.start, vStart, obs.Args{"bytes": iost.bytes})
+				job.lane.SpanAt("verify", vStart, iost.end, nil)
+			} else {
+				job.lane.Span("queued", job.issuedAt, nil)
+			}
+		}
 		if s.loadHook != nil {
 			s.loadHook(job.t.idx, job.d.Chunk)
 		}
@@ -587,6 +658,7 @@ func (s *Server) worker() {
 			}
 			if errors.Is(err, ErrChecksum) {
 				s.faults.ChecksumErrors++
+				s.o.checksumErrors.Inc()
 			}
 			if errors.Is(err, bufferpool.ErrNoFrame) {
 				// Frame accounting invariant violated — not an I/O fault,
@@ -601,13 +673,16 @@ func (s *Server) worker() {
 				break
 			}
 			s.faults.Retries++
+			s.o.retries.Inc()
 			pause := s.retryPause(attempt)
 			s.mu.Unlock()
 			time.Sleep(pause)
 			s.mu.Lock()
 			err = nil
 		}
+		job.t.releaseLane(job.lane)
 		s.inFlight--
+		s.o.inflight.Add(-1)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
@@ -638,7 +713,7 @@ func (s *Server) completeLoad(job loadJob) error {
 			break
 		}
 		s.mu.Unlock()
-		more, err := s.readMissing(job.t, gone)
+		more, _, err := s.readMissing(job.t, gone)
 		s.mu.Lock()
 		for id, b := range more {
 			s.staging[id] = b
@@ -646,6 +721,10 @@ func (s *Server) completeLoad(job loadJob) error {
 		if err != nil {
 			return err
 		}
+	}
+	var pinStart time.Time
+	if s.o.enabled {
+		pinStart = time.Now()
 	}
 	var pinned []partID
 	var pinErr error
@@ -675,6 +754,13 @@ func (s *Server) completeLoad(job loadJob) error {
 	fin := job.d
 	fin.Cols = job.marked
 	job.t.abm.FinishLoad(fin)
+	if s.o.enabled {
+		now := time.Now()
+		s.o.pinSeconds.Observe(now.Sub(pinStart).Seconds())
+		if job.lane != (obs.Track{}) {
+			job.lane.SpanAt("pin", pinStart, now, obs.Args{"chunk": job.d.Chunk})
+		}
+	}
 	s.cond.Broadcast()
 	return nil
 }
@@ -720,6 +806,10 @@ func (s *Server) abortJob(job loadJob, cause error) {
 		if _, dup := job.t.quarantine[k]; !dup {
 			job.t.quarantine[k] = cause
 			s.faults.QuarantinedParts++
+			s.o.quarantined.Inc()
+			if s.o.tracer != nil {
+				s.o.schedTrack.Instant("quarantine", obs.Args{"table": job.t.name, "chunk": k.chunk, "col": k.col})
+			}
 		}
 	}
 	s.cond.Broadcast()
@@ -742,6 +832,17 @@ func (s *Server) quarantineTargets(job loadJob, cause error) []partID {
 	return out
 }
 
+// ioStats carries one readMissing call's measurements out for metric
+// observation and trace rendering: the read's wall interval, the bytes
+// handed back, and the slice of the interval spent verifying checksums
+// (accumulated across the call's page runs). Zero when the call had nothing
+// to read or observability is off.
+type ioStats struct {
+	start, end time.Time
+	bytes      int64
+	verify     time.Duration
+}
+
 // readMissing reads the listed pages from the table file into recycled
 // page buffers. Runs of consecutive page indexes — an NSM chunk's stripes,
 // or the multi-stripe extent of a wide DSM column — are coalesced into a
@@ -752,10 +853,17 @@ func (s *Server) quarantineTargets(job loadJob, cause error) []partID {
 // re-reads only what is still missing — every faulty extent advances
 // through its transient-fault window in parallel instead of one extent per
 // retry. Called without the server lock; multiple workers read concurrently
-// through ReadAt.
-func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[bufferpool.PageID][]byte, error) {
+// through ReadAt. When observability is enabled it also observes the read,
+// verify and byte metrics and reports its measurements.
+func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[bufferpool.PageID][]byte, ioStats, error) {
 	if len(missing) == 0 {
-		return nil, nil
+		return nil, ioStats{}, nil
+	}
+	var iost ioStats
+	var verify *time.Duration
+	if s.o.enabled {
+		iost.start = time.Now()
+		verify = &iost.verify
 	}
 	out := make(map[bufferpool.PageID][]byte, len(missing))
 	var firstErr error
@@ -764,26 +872,37 @@ func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[b
 		for j < len(missing) && missing[j] == missing[j-1]+1 {
 			j++
 		}
-		if err := s.readRun(t, missing[i:j], out); err != nil && firstErr == nil {
+		if err := s.readRun(t, missing[i:j], out, verify); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		i = j
 	}
-	return out, firstErr
+	if s.o.enabled {
+		iost.end = time.Now()
+		for _, b := range out {
+			iost.bytes += int64(len(b))
+		}
+		s.o.readBytes.Add(iost.bytes)
+		s.o.readSeconds.Observe((iost.end.Sub(iost.start) - iost.verify).Seconds())
+		s.o.verifySeconds.Observe(iost.verify.Seconds())
+	}
+	return out, iost, firstErr
 }
 
 // readRun reads one run of consecutive pages: a single page draws its
 // buffer from the recycle pool; a longer run is one coalesced positioned
 // read into a slab whose per-page sub-slices enter the recycle economy on
-// eviction like any other page buffer.
-func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[bufferpool.PageID][]byte) error {
+// eviction like any other page buffer. verify, when non-nil, accumulates
+// the wall time spent on checksum verification.
+func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[bufferpool.PageID][]byte, verify *time.Duration) error {
 	start := time.Now()
 	first := int64(run[0]) % pageStride
 	var total int64
 	if len(run) == 1 {
 		total = t.tf.PageBytes(first)
+		s.o.recycleGets.Inc()
 		buf := s.stripeBufs[total].Get().([]byte)
-		if err := t.tf.ReadPage(first, buf); err != nil {
+		if err := t.tf.readPageRange(first, 1, buf, verify); err != nil {
 			return fmt.Errorf("engine: read %s page %d: %w", t.name, first, err)
 		}
 		out[run[0]] = buf
@@ -792,7 +911,7 @@ func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[buffer
 			total += t.tf.PageBytes(int64(id) % pageStride)
 		}
 		slab := make([]byte, total)
-		if err := t.tf.ReadPageRange(first, len(run), slab); err != nil {
+		if err := t.tf.readPageRange(first, len(run), slab, verify); err != nil {
 			return fmt.Errorf("engine: read %s pages [%d,%d): %w", t.name, first, first+int64(len(run)), err)
 		}
 		var off int64
@@ -901,6 +1020,23 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 	if bad := cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
 		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, name, bad, NumCols)
 	}
+	if !s.o.enabled {
+		return s.scanStream(ctx, t, name, ranges, cols, onChunk)
+	}
+	// With observability on, label the stream's goroutine so CPU and
+	// goroutine profiles attribute work to the scan and its table.
+	var st core.Stats
+	var err error
+	pprof.Do(ctx, pprof.Labels("scan", name, "table", t.name), func(ctx context.Context) {
+		st, err = s.scanStream(ctx, t, name, ranges, cols, onChunk)
+	})
+	return st, err
+}
+
+// scanStream is the body of one query stream: it registers the query with
+// the table's ABM and loops pick → pin → deliver → release until the range
+// is consumed, parking on the scheduler's condition variable while blocked.
+func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
 	if done := ctx.Done(); done != nil {
 		// Watcher: a context firing must unblock a scan parked in cond.Wait.
 		// Skipped entirely for non-cancellable contexts, so the fault-free
@@ -923,7 +1059,27 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 	if dsm {
 		scratch = make([][]byte, NumCols)
 	}
+	if s.o.enabled {
+		scanStart := time.Now()
+		defer func() { t.o.scan.Observe(time.Since(scanStart).Seconds()) }()
+	}
+	var track obs.Track
+	if s.o.tracer != nil {
+		track = s.o.tracer.NewTrack("scan " + name + " [" + t.name + "]")
+	}
 	var useful int64
+	// waitStart is nonzero while a traced blocked period is open. Broadcasts
+	// fire on every pin/release/completion, so a blocked stream wakes many
+	// times per chunk that actually becomes available; consecutive blocked
+	// loop iterations coalesce into ONE wait span, closed when the stream
+	// unblocks (or exits).
+	var waitStart time.Time
+	closeWait := func() {
+		if !waitStart.IsZero() {
+			track.Span("wait", waitStart, nil)
+			waitStart = time.Time{}
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		// A scan entered after Close (or after a fatal failure) must not
@@ -941,6 +1097,7 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 	s.cond.Broadcast()
 	for !q.Finished() {
 		if s.closed {
+			closeWait()
 			st := t.abm.Finish(q)
 			err := s.err
 			s.mu.Unlock()
@@ -951,16 +1108,20 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 			return st, err
 		}
 		if cerr := ctx.Err(); cerr != nil {
+			closeWait()
 			st := t.abm.Finish(q)
 			s.faults.CancelledScans++
+			s.o.cancelledScans.Inc()
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			st.BytesUseful = useful
 			return st, fmt.Errorf("engine: scan %q: %w", name, cerr)
 		}
 		if qerr := s.quarantineError(t, q); qerr != nil {
+			closeWait()
 			st := t.abm.Finish(q)
 			s.faults.FailedScans++
+			s.o.failedScans.Inc()
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			st.BytesUseful = useful
@@ -973,9 +1134,17 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 			// only when every registered query is blocked), so wake it.
 			q.SetBlocked(true)
 			s.cond.Broadcast()
+			if s.o.tracer != nil && waitStart.IsZero() {
+				waitStart = time.Now()
+			}
 			s.cond.Wait()
 			q.SetBlocked(false)
 			continue
+		}
+		closeWait()
+		var deliverStart time.Time
+		if s.o.enabled {
+			deliverStart = time.Now()
 		}
 		t.abm.Pin(q, c)
 		// The pin lifts the chunk's fresh-load eviction protection: wake a
@@ -995,9 +1164,20 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 			data = ChunkData{stripes: t.views[partID{chunk: c, col: -1}].Data, cols: storage.AllCols(NumCols), tuples: tuples}
 		}
 		useful += tuples * projBytes
+		t.o.useful.Add(tuples * projBytes)
+		if s.o.tracer != nil {
+			track.SpanAt("deliver", deliverStart, time.Now(), obs.Args{"chunk": c})
+		}
 		s.mu.Unlock()
+		var procStart time.Time
+		if s.o.tracer != nil {
+			procStart = time.Now()
+		}
 		if onChunk != nil {
 			onChunk(c, data)
+		}
+		if s.o.tracer != nil {
+			track.SpanAt("process", procStart, time.Now(), obs.Args{"chunk": c})
 		}
 		s.mu.Lock()
 		t.abm.Release(q, c)
@@ -1015,6 +1195,10 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Server) statsLocked() ServerStats {
 	out := ServerStats{Pool: s.pool.Stats(), Faults: s.faults}
 	for _, t := range s.tables {
 		schedDur, schedCalls := t.abm.SchedulingCost()
@@ -1027,6 +1211,42 @@ func (s *Server) Stats() ServerStats {
 		})
 	}
 	return out
+}
+
+// PoolStatus is the shared pool's slice of a Status snapshot: the cumulative
+// Stats counters plus the instantaneous occupancy.
+type PoolStatus struct {
+	bufferpool.Stats
+	Resident int
+	Pinned   int
+}
+
+// Status is the server's live snapshot — the JSON document /statusz serves
+// and the CLIs' shared report renders: identity (policy, uptime), the
+// instantaneous scheduler state, and the same per-table/pool/fault counters
+// Stats returns.
+type Status struct {
+	Policy        string       `json:"policy"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	InFlight      int          `json:"in_flight"`
+	Tables        []TableStats `json:"tables"`
+	Pool          PoolStatus   `json:"pool"`
+	Faults        FaultStats   `json:"faults"`
+}
+
+// StatusSnapshot returns the server's current Status.
+func (s *Server) StatusSnapshot() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.statsLocked()
+	return Status{
+		Policy:        s.cfg.Policy.String(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight,
+		Tables:        st.Tables,
+		Pool:          PoolStatus{Stats: st.Pool, Resident: s.pool.Resident(), Pinned: s.pool.Pinned()},
+		Faults:        st.Faults,
+	}
 }
 
 // Budgets returns the current arbiter grants in table order.

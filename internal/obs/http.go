@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/statusz       statusz() rendered as indented JSON (a live snapshot)
+//	/debug/pprof/  the standard runtime profiles (heap, goroutine, CPU, ...)
+//
+// reg and statusz may each be nil; the corresponding endpoint then serves
+// an empty body. pprof is always wired — it reads the runtime, not the
+// registry — so a hung scan can be diagnosed even on a server that never
+// registered a metric.
+func Handler(reg *Registry, statusz func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var v any
+		if statusz != nil {
+			v = statusz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP server (see ListenAndServe).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts the debug mux on addr (":9090", "127.0.0.1:0", ...)
+// in a background goroutine and returns immediately. Close stops it.
+func ListenAndServe(addr string, reg *Registry, statusz func() any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: Handler(reg, statusz)}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the server's bound address (resolving a ":0" listen).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server. Safe on nil.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints drives the debug mux through httptest: /metrics
+// serves the registry's exposition with the right content type, /statusz
+// serves the snapshot as JSON, and /debug/pprof/ answers.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_total", "x").Add(42)
+	type snap struct {
+		Policy string `json:"policy"`
+		Loads  int    `json:"loads"`
+	}
+	srv := httptest.NewServer(Handler(reg, func() any { return snap{Policy: "relevance", Loads: 7} }))
+	defer srv.Close()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "http_test_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, resp = get("/statusz")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/statusz content type %q", ct)
+	}
+	var got snap
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if got.Policy != "relevance" || got.Loads != 7 {
+		t.Errorf("/statusz = %+v", got)
+	}
+
+	body, _ = get("/debug/pprof/goroutine?debug=1")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/goroutine unexpected body:\n%.200s", body)
+	}
+}
+
+// TestListenAndServe: the background server binds, serves, and closes.
+func TestListenAndServe(t *testing.T) {
+	d, err := ListenAndServe("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + d.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

@@ -1,0 +1,517 @@
+// Package obs is the engine's dependency-free observability layer: a
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// with Prometheus text-format exposition), a Chrome-trace-event tracer
+// whose output loads in Perfetto, and a stdlib debug HTTP server wiring
+// /metrics, /statusz and /debug/pprof together.
+//
+// # Design notes
+//
+// The package is built for an always-on live engine, so the two costs that
+// matter are the hot-path update and the disabled case:
+//
+//   - Updates are lock-free. A Counter or Gauge is one atomic word; a
+//     Histogram is an atomic word per bucket plus a CAS-looped float sum.
+//     Registration (Registry.Counter etc.) takes locks, but callers resolve
+//     their series pointers once at construction and update through them.
+//   - Everything is nil-safe. Methods on a nil *Registry, nil *CounterVec,
+//     nil *Counter (and so on) are no-ops, so instrumented code threads
+//     possibly-nil metric handles without guards; the only per-event cost
+//     of disabled metrics is a nil check. (Callers still guard work that
+//     exists only to feed a metric — a time.Now() pair, say — behind an
+//     enabled flag.)
+//
+// Registration is idempotent: asking for an already-registered family with
+// the same type, help and label names returns the existing one, and With on
+// the same label values returns the same series — so a CLI that builds one
+// server per policy run against one shared registry accumulates, which is
+// exactly Prometheus's model of a counter. Redefining a name with a
+// different shape panics (a programming error, not a runtime condition).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry. All methods are safe on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative n panics (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. All methods are safe on a nil
+// receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations (by
+// convention, seconds). Buckets are upper bounds, ascending; an implicit
+// +Inf bucket catches the rest. All methods are safe on a nil receiver.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; the last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Buckets are few (typically 10-16); linear scan beats binary search at
+	// that size and is branch-predictable for clustered observations.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExponentialBuckets returns count bucket upper bounds starting at start,
+// each factor times the previous — the standard latency-histogram shape.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExponentialBuckets(start>0, factor>1, count>=1)")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Default bucket sets for the engine's three latency regimes.
+var (
+	// SchedBuckets spans scheduler decisions: 100ns .. ~1.6ms.
+	SchedBuckets = ExponentialBuckets(1e-7, 4, 8)
+	// IOBuckets spans device reads and pins: 10µs .. ~2.6s.
+	IOBuckets = ExponentialBuckets(1e-5, 4, 10)
+	// ScanBuckets spans whole-scan wall latency: 1ms .. ~32s.
+	ScanBuckets = ExponentialBuckets(1e-3, 2, 16)
+)
+
+// metric kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one (family, label values) time series.
+type series struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+}
+
+// family is one named metric with a fixed type, help string and label
+// schema, holding a series per distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// get returns the series for the given label values, creating it on first
+// use.
+func (f *family) get(lvs []string) *series {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s takes %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: append([]string(nil), lvs...)}
+		switch f.kind {
+		case kindCounter:
+			s.c = new(Counter)
+		case kindGauge:
+			s.g = new(Gauge)
+		case kindHistogram:
+			s.h = &Histogram{upper: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (nil on a nil vec).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).c
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (nil on a nil vec).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).g
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (nil on a nil vec).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues).h
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; use NewRegistry. All methods are
+// safe on a nil receiver (registration returns nil handles, exposition
+// writes nothing), which is how disabled observability costs nothing.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register returns the named family, creating it on first use and panicking
+// on a redefinition with a different shape.
+func (r *Registry) register(name, help, kind string, buckets []float64, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || f.help != help || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different type, help or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*series),
+	}
+	if kind == kindHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s with no buckets", name))
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i] <= f.buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s buckets not strictly ascending", name))
+			}
+		}
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or finds) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// CounterVec registers (or finds) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// Gauge registers (or finds) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// GaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// Histogram registers (or finds) an unlabelled histogram with the given
+// bucket upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, buckets, nil).get(nil).h
+}
+
+// HistogramVec registers (or finds) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, buckets, labelNames)}
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// HELP and TYPE lines, series sorted by label values, label values escaped
+// per the format's rules. Safe to call while updates are in flight —
+// values are read atomically (per series, not across series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSeries(&b, f, f.series[k])
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		b.WriteString(f.name)
+		writeLabels(b, f.labels, s.labelVals, "", "")
+		fmt.Fprintf(b, " %d\n", s.c.Value())
+	case kindGauge:
+		b.WriteString(f.name)
+		writeLabels(b, f.labels, s.labelVals, "", "")
+		fmt.Fprintf(b, " %d\n", s.g.Value())
+	case kindHistogram:
+		var cum int64
+		for i, upper := range f.buckets {
+			cum += s.h.counts[i].Load()
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, s.labelVals, "le", formatFloat(upper))
+			fmt.Fprintf(b, " %d\n", cum)
+		}
+		cum += s.h.counts[len(f.buckets)].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelVals, "le", "+Inf")
+		fmt.Fprintf(b, " %d\n", cum)
+		b.WriteString(f.name)
+		b.WriteString("_sum")
+		writeLabels(b, f.labels, s.labelVals, "", "")
+		fmt.Fprintf(b, " %s\n", formatFloat(s.h.Sum()))
+		b.WriteString(f.name)
+		b.WriteString("_count")
+		writeLabels(b, f.labels, s.labelVals, "", "")
+		fmt.Fprintf(b, " %d\n", s.h.Count())
+	}
+}
+
+// writeLabels renders a {k="v",...} block (nothing when there are no
+// labels), with an optional extra label appended (the histogram's le).
+func writeLabels(b *strings.Builder, names, vals []string, extraName, extraVal string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// escapeHelp escapes a HELP string per the text format: backslash and
+// newline.
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// validName reports whether s is a legal metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*; label names may not contain ':' but none of
+// ours do either way).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

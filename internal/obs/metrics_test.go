@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden locks down the Prometheus text format: HELP/TYPE
+// lines for every family, families sorted by name, series sorted by label
+// values, histogram bucket/sum/count suffixes with cumulative counts and a
+// +Inf bucket, and label-value escaping of backslash, quote and newline.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.").Add(3)
+	g := r.GaugeVec("test_grant_bytes", "Arbiter grant per table.", "table")
+	g.With("lineitem#1").Set(4096)
+	g.With("lineitem#0").Set(1024)
+	r.CounterVec("test_escapes_total", "Label escaping.", "v").
+		With("a\\b\"c\nd").Inc()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	h.Observe(100)
+
+	want := `# HELP test_escapes_total Label escaping.
+# TYPE test_escapes_total counter
+test_escapes_total{v="a\\b\"c\nd"} 1
+# HELP test_grant_bytes Arbiter grant per table.
+# TYPE test_grant_bytes gauge
+test_grant_bytes{table="lineitem#0"} 1024
+test_grant_bytes{table="lineitem#1"} 4096
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="10"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 105.1
+test_latency_seconds_count 4
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionLintRules checks the format invariants a Prometheus linter
+// enforces, independent of exact values: every sample's family has exactly
+// one HELP and one TYPE line, both before any sample of the family, and no
+// sample line is malformed.
+func TestExpositionLintRules(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lint_a_total", "A.").Inc()
+	r.GaugeVec("lint_b", "B.", "x", "y").With("1", "2").Set(7)
+	r.HistogramVec("lint_c_seconds", "C.", []float64{1}, "q").With("z").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	helps := map[string]int{}
+	types := map[string]int{}
+	seenSample := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			helps[name]++
+			if seenSample[name] {
+				t.Errorf("HELP for %s after its samples", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			types[f[2]]++
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown TYPE %q", f[3])
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unterminated label block in %q", line)
+			}
+			name = name[:i]
+		}
+		name = strings.TrimSuffix(name, "_bucket")
+		name = strings.TrimSuffix(name, "_sum")
+		name = strings.TrimSuffix(name, "_count")
+		seenSample[name] = true
+	}
+	for _, name := range []string{"lint_a_total", "lint_b", "lint_c_seconds"} {
+		if helps[name] != 1 || types[name] != 1 {
+			t.Errorf("%s: HELP×%d TYPE×%d, want exactly one of each", name, helps[name], types[name])
+		}
+		if !seenSample[name] {
+			t.Errorf("%s: no samples", name)
+		}
+	}
+}
+
+// TestRegistryIdempotentAndValue: re-registering the same shape returns the
+// same series; a different shape panics.
+func TestRegistryIdempotentAndValue(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("idem_total", "x")
+	a.Add(2)
+	if b := r.Counter("idem_total", "x"); b != a {
+		t.Error("re-registration returned a different series")
+	}
+	if got := r.Counter("idem_total", "x").Value(); got != 2 {
+		t.Errorf("Value = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("redefining idem_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("idem_total", "x")
+}
+
+// TestNilSafety: every handle type no-ops on nil, including a nil registry,
+// so disabled observability needs no guards.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter holds a value")
+	}
+	r.CounterVec("y_total", "y", "l").With("v").Inc()
+	r.Gauge("g", "g").Set(1)
+	r.GaugeVec("gv", "g", "l").With("v").Add(-1)
+	r.Histogram("h_seconds", "h", []float64{1}).Observe(0.5)
+	r.HistogramVec("hv_seconds", "h", []float64{1}, "l").With("v").Observe(0.5)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	var tr *Tracer
+	track := tr.NewTrack("t")
+	track.Instant("i", nil)
+	track.Span("s", time.Now(), nil)
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close: %v", err)
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// registrations, updates and expositions interleaved — and relies on the
+// race detector (CI runs this package with -race) to catch unsynchronised
+// access. Counts are verified at the end.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "c")
+			g := r.GaugeVec("conc_gauge", "g", "w")
+			h := r.Histogram("conc_seconds", "h", []float64{0.5, 1})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.With(string(rune('a' + w))).Set(int64(i))
+				h.Observe(float64(i%3) * 0.4)
+				if i%500 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c").Value(); got != workers*perWorker {
+		t.Errorf("conc_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("conc_seconds", "h", []float64{0.5, 1}).Count(); got != workers*perWorker {
+		t.Errorf("conc_seconds count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestExponentialBuckets sanity-checks the helper and the shared defaults.
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	for _, bs := range [][]float64{SchedBuckets, IOBuckets, ScanBuckets} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Errorf("default buckets not ascending: %v", bs)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer emits Chrome trace-event JSON (the "JSON Array Format" of the
+// Trace Event spec), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One Tracer is one trace file; tracks (rendered as
+// named rows) are allocated with NewTrack, and events are timestamped in
+// microseconds since the tracer was created.
+//
+// A nil *Tracer is a disabled tracer: NewTrack returns a no-op Track and
+// Close does nothing, so instrumented code threads a possibly-nil tracer
+// without guards. (Callers still guard argument construction — building an
+// Args map costs allocations — behind a nil check.)
+//
+// Events are serialised under one mutex. Tracing is an opt-in diagnostic
+// mode, not an always-on path, so contention is traded for a single
+// ordered, well-formed output file.
+type Tracer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer // underlying file, when CreateTrace opened one
+	start   time.Time
+	nextTid int64
+	events  int64
+	closed  bool
+}
+
+// Args carries a trace event's args object. Values must be JSON-encodable.
+type Args map[string]any
+
+// NewTracer starts a trace written to w. Call Close to terminate the JSON
+// array; a trace missing its Close is still loadable (the array format
+// tolerates a missing closing bracket) but ends mid-event-stream.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), start: time.Now()}
+	t.w.WriteString("[\n")
+	t.emitLocked(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"coopscan"}}`)
+	return t
+}
+
+// CreateTrace is NewTracer over a freshly created file at path; Close
+// flushes and closes it.
+func CreateTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTracer(f)
+	t.c = f
+	return t, nil
+}
+
+// Track is one named row of the trace. The zero Track (and any Track from a
+// nil Tracer) is a no-op.
+type Track struct {
+	t   *Tracer
+	tid int64
+}
+
+// NewTrack allocates a new track with the given display name. Every call
+// returns a distinct track, even for a repeated name — two policy runs'
+// "stream q0" rows stay separate.
+func (t *Tracer) NewTrack(name string) Track {
+	if t == nil {
+		return Track{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return Track{}
+	}
+	t.nextTid++
+	tid := t.nextTid
+	t.emitLocked(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+		tid, jsonString(name)))
+	// sort_index keeps rows in allocation order (Perfetto otherwise sorts
+	// by name).
+	t.emitLocked(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
+		tid, tid))
+	return Track{t: t, tid: tid}
+}
+
+// Span emits a complete ("X") event from start to now.
+func (tr Track) Span(name string, start time.Time, args Args) {
+	tr.SpanAt(name, start, time.Now(), args)
+}
+
+// SpanAt emits a complete ("X") event covering [start, end].
+func (tr Track) SpanAt(name string, start, end time.Time, args Args) {
+	if tr.t == nil {
+		return
+	}
+	ts := tr.t.since(start)
+	dur := end.Sub(start).Seconds() * 1e6
+	if dur < 0 {
+		dur = 0
+	}
+	tr.t.emit(fmt.Sprintf(`{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s%s}`,
+		jsonString(name), tr.tid, formatTS(ts), formatTS(dur), argsJSON(args)))
+}
+
+// Instant emits an instant ("i") event at now, rendered as a vertical mark
+// on the track.
+func (tr Track) Instant(name string, args Args) {
+	if tr.t == nil {
+		return
+	}
+	tr.t.emit(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s%s}`,
+		jsonString(name), tr.tid, formatTS(tr.t.since(time.Now())), argsJSON(args)))
+}
+
+// Events returns the number of events emitted so far (0 on nil).
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying file
+// when the tracer created it. Safe on nil and idempotent.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.w.WriteString("\n]\n")
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// since returns the trace timestamp (µs since tracer start) of tm.
+func (t *Tracer) since(tm time.Time) float64 {
+	us := tm.Sub(t.start).Seconds() * 1e6
+	if us < 0 {
+		us = 0
+	}
+	return us
+}
+
+func (t *Tracer) emit(ev string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.emitLocked(ev)
+}
+
+func (t *Tracer) emitLocked(ev string) {
+	if t.events > 0 {
+		t.w.WriteString(",\n")
+	}
+	t.w.WriteString(ev)
+	t.events++
+}
+
+// argsJSON renders the optional args object, with a leading comma so it
+// splices into an event literal; empty for nil args.
+func argsJSON(args Args) string {
+	if len(args) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(args)
+	if err != nil {
+		// Unencodable args are a programming error in instrumentation code;
+		// keep the trace valid and point at the call site's name instead.
+		b = []byte(`{"obs_error":"unencodable args"}`)
+	}
+	return `,"args":` + string(b)
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// formatTS renders a µs timestamp or duration compactly.
+func formatTS(us float64) string {
+	return strconv.FormatFloat(us, 'f', 3, 64)
+}

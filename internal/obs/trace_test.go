@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceEvent mirrors the fields of a Trace Event Format entry that Perfetto
+// requires for the event kinds we emit.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  *int64         `json:"pid"`
+	Tid  *int64         `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// parseTrace unmarshals a full trace and fails the test on malformed JSON —
+// the validity property the -trace flag relies on.
+func parseTrace(t *testing.T, data []byte) []traceEvent {
+	t.Helper()
+	var evs []traceEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not a valid JSON array: %v\n%s", err, data)
+	}
+	return evs
+}
+
+// TestTraceWellFormed emits every event kind the engine uses — track
+// metadata, spans, instants, args needing escaping — from several
+// goroutines, then parses the output and checks each event carries the
+// fields its phase requires.
+func TestTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			track := tr.NewTrack("stream \"q" + string(rune('0'+w)) + "\"\n")
+			for i := 0; i < 25; i++ {
+				start := time.Now()
+				track.SpanAt("process", start, start.Add(time.Millisecond), Args{"chunk": i, "cols": "0-3"})
+				track.Instant("evict", Args{"chunk": i})
+				track.Span("wait", start, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := parseTrace(t, buf.Bytes())
+	if int64(len(evs)) != tr.Events() {
+		t.Errorf("parsed %d events, tracer counted %d", len(evs), tr.Events())
+	}
+	var spans, instants, threadNames int
+	for _, ev := range evs {
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing pid/tid", ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Errorf("X event %q missing ts/dur", ev.Name)
+			}
+			if ev.Dur != nil && *ev.Dur < 0 {
+				t.Errorf("X event %q negative dur %f", ev.Name, *ev.Dur)
+			}
+		case "i":
+			instants++
+			if ev.Ts == nil {
+				t.Errorf("i event %q missing ts", ev.Name)
+			}
+			if ev.S == "" {
+				t.Errorf("i event %q missing scope", ev.Name)
+			}
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames++
+				if _, ok := ev.Args["name"]; !ok {
+					t.Error("thread_name metadata without args.name")
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != 4*25*2 {
+		t.Errorf("spans = %d, want %d", spans, 4*25*2)
+	}
+	if instants != 4*25 {
+		t.Errorf("instants = %d, want %d", instants, 4*25)
+	}
+	// 4 stream tracks + the process_name metadata.
+	if threadNames != 4 {
+		t.Errorf("thread_name events = %d, want 4", threadNames)
+	}
+}
+
+// TestTraceTimestampsMonotonicPerEmit: timestamps are µs offsets from
+// tracer start and never negative, and a span's dur is clamped at zero even
+// for an inverted interval.
+func TestTraceTimestampsSane(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	track := tr.NewTrack("t")
+	now := time.Now()
+	track.SpanAt("inverted", now.Add(time.Second), now, nil)
+	track.SpanAt("pre-start", now.Add(-time.Hour), now, nil)
+	tr.Close()
+	for _, ev := range parseTrace(t, buf.Bytes()) {
+		if ev.Ts != nil && *ev.Ts < 0 {
+			t.Errorf("%s: negative ts %f", ev.Name, *ev.Ts)
+		}
+		if ev.Name == "inverted" && *ev.Dur != 0 {
+			t.Errorf("inverted span dur = %f, want 0", *ev.Dur)
+		}
+	}
+}
+
+// TestTraceAfterClose: events after Close are dropped, the array stays
+// valid, and double Close is fine.
+func TestTraceAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	track := tr.NewTrack("t")
+	track.Instant("before", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	track.Instant("after", nil)
+	tr.NewTrack("late")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := parseTrace(t, buf.Bytes())
+	for _, ev := range evs {
+		if ev.Name == "after" || ev.Name == "late" {
+			t.Errorf("event %q emitted after Close", ev.Name)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(buf.String()), "]") {
+		t.Error("trace not terminated with ]")
+	}
+}
