@@ -13,14 +13,19 @@
 # (`make bench-fault` → BENCH_PR6.json; overhead vs BENCH_PR5.json must
 # stay < 5%), and PR 7 adds the observability on/off A/B
 # (`make bench-obs` → BENCH_PR7.json; instrumented median must stay
-# within 2% of dark). See docs/BENCHMARKS.md for the trajectory and
-# repro commands.
+# within 2% of dark), and PR 8 pushes the scheduler sweeps an order of
+# magnitude further (sim 4096/8192 queries, live 512/2048/4096 streams,
+# `make bench-scale` → BENCH_PR8.json; sched-ns/decision must stay within
+# 1.5× from 512 to 4096 live streams) guarded by the randomized multi-seed
+# soak harness (`make soak-rand SEEDS=...`). See docs/BENCHMARKS.md for the
+# trajectory and repro commands.
 
 GO        ?= go
 BENCHTIME ?= 3x
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
+SEEDS     ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test test-race vet fmt-check soak bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-json
+.PHONY: build test test-race vet fmt-check soak soak-rand bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-scale bench-json
 
 build:
 	$(GO) build ./...
@@ -32,7 +37,7 @@ test: build
 # the bufferpool substrate it pins chunks through, and the core arbiter
 # state they drive) must stay race-clean.
 test-race:
-	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/... ./internal/obs/... ./internal/soak/...
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +50,18 @@ vet:
 # drain with zero budget leak (see internal/engine/fault_test.go).
 soak:
 	$(GO) test -race -count=1 -run 'TestFaultSoak' -v ./internal/engine/
+
+# Randomized multi-seed soak (the PR-8 harness, internal/soak): per seed a
+# core-layer driver runs thousands of seeded register/scan/cancel/detach/
+# attach operations over mixed NSM+DSM layouts with incremental-vs-linear
+# audits at a fixed cadence, and an engine-layer driver runs real servers
+# under iofault injection with concurrent + cancelled streams, golden
+# verification and a drained-state leak audit. The policy rotates with the
+# seed. Override the seed list to replay a failure:
+#
+#	make soak-rand SEEDS=12345
+soak-rand:
+	$(GO) test -race -count=1 -run 'TestSoakRand' -v ./internal/soak/ -args -soak.seeds=$(SEEDS)
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -98,6 +115,17 @@ bench-fault:
 # an otherwise idle machine to mean anything, hence its own target.
 bench-obs:
 	COOPSCAN_OBS_AB=1 $(GO) test -run 'TestObsOverheadAB' -count=1 -v -bench 'BenchmarkObsOverhead' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR7.json
+
+# 10k-stream scheduler scale (the PR 8 perf artifact): the simulator sweep
+# extended to 4096/8192 queries and the live server pushed to 512/2048/4096
+# concurrent scan goroutines with short per-stream ranges (see
+# live_sched_bench_test.go). Acceptance: sched-ns/decision within 1.5× from
+# streams512 to streams4096 — the registration batch, per-stream wakeup
+# conds, per-query availability heaps and incremental victim heap remove
+# every per-decision linear walk, so decision cost no longer grows with the
+# stream count.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerScaling|BenchmarkLiveSchedulerScale' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR8.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

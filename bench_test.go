@@ -90,10 +90,13 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkSchedulerScaling measures the relevance scheduler's decision
 // cost at high concurrency and fine chunking (the large-scale extension of
 // Figure 8), one sub-benchmark per (queries, chunks) point. The points
-// table below IS the PR-4 acceptance configuration: the sched-ns/decision
-// metric at q256 is the acceptance gauge (≥3× lower than the pre-heap
-// linear paths, recorded in BENCH_PR4.json); q64 keeps the PR-1..3
-// records' unbatched stream shape and stays comparable to them.
+// table through q512 IS the PR-4 acceptance configuration: the
+// sched-ns/decision metric at q256 is the acceptance gauge (≥3× lower than
+// the pre-heap linear paths, recorded in BENCH_PR4.json); q64 keeps the
+// PR-1..3 records' unbatched stream shape and stays comparable to them.
+// q4096/q8192 extend the sweep an order of magnitude for PR 8: with the
+// per-query availability heaps and incremental candidate maintenance,
+// sched-ns/decision must stay flat from q512 to q8192 (BENCH_PR8.json).
 // -benchmem's allocs/op tracks the hot paths' allocation behaviour.
 func BenchmarkSchedulerScaling(b *testing.B) {
 	quick := experiments.QuickSchedScaling()
@@ -105,6 +108,8 @@ func BenchmarkSchedulerScaling(b *testing.B) {
 		{"q64", 64, quick.Chunks, 1},
 		{"q256", 256, quick.Chunks, 16},
 		{"q512", 512, quick.Chunks, 16},
+		{"q4096", 4096, quick.Chunks, 16},
+		{"q8192", 8192, quick.Chunks, 16},
 		{"q256-chunks1024", 256, 1024, 16},
 		{"q256-chunks2048", 256, 2048, 16},
 	}

@@ -136,6 +136,18 @@ type Config struct {
 	// (live mode).
 	ChunkCost float64
 
+	// DecisionVersion selects the decision-compatibility contract. Version 1
+	// (the default for simulation ABMs) keeps every scheduling decision
+	// byte-identical to the checked-in golden: candidate ranking and victim
+	// selection run exactly the historical code paths. Version 2 (the
+	// default for live ABMs, which have no decision golden) is free to make
+	// equally-good decisions differently, which lets the relevance policy
+	// keep its candidate ranking and eviction heap fully incremental —
+	// O(log n) per decision with no per-round rebuilds — so scheduling cost
+	// stays flat into the thousands of streams. Zero resolves per
+	// constructor; explicit values pin either contract in either mode.
+	DecisionVersion int
+
 	// NoShortQueryPriority disables the -chunksNeeded(q) term of
 	// queryRelevance (ablation: queries are then served round-robin-ish by
 	// waiting time alone).
@@ -200,11 +212,58 @@ type ABM struct {
 	// relevance loader's NextLoad. Membership is re-derived by
 	// updateStarveFlags at every event that can change it, so a failing
 	// decision round (nothing loadable anywhere) is an O(1) empty-slice
-	// check instead of a walk over every registered query. Order is
-	// arbitrary (swap-remove); NextLoad ranks candidates by
-	// (queryRelevance, registration seq), a total order independent of it.
+	// check instead of a walk over every registered query. Under decision
+	// version 1 the order is arbitrary (swap-remove) and NextLoad ranks
+	// candidates by (queryRelevance, registration seq), a total order
+	// independent of it. Under version 2 the slice is an indexed min-heap
+	// on Query.candKey (equivalent ranking, maintained incrementally) and
+	// Query.loadPos is the heap slot.
 	loadCands []*Query
 	regSeq    int
+	// candDirty marks the v2 candidate heap stale: candKey embeds the
+	// registered-query count (the wait-normalisation denominator), so a
+	// register or unregister shifts every key. NextLoad re-keys and
+	// re-heapifies lazily — one rebuild per registry change, not per
+	// decision, and batched registrations amortise to one.
+	candDirty bool
+	// candAside is NextLoad's scratch for popped candidates with nothing
+	// loadable; they are re-pushed after the decision.
+	candAside []*Query
+
+	// v2 is true when the effective DecisionVersion is >= 2 (see
+	// Config.DecisionVersion).
+	v2 bool
+
+	// blockedCount tracks how many registered queries are currently marked
+	// blocked (Query.SetBlocked), so the relevance policy's "is every query
+	// blocked?" eviction relaxation is one comparison instead of a registry
+	// walk.
+	blockedCount int
+
+	// starvedQueries counts the registered queries currently starved, and
+	// demandBytes maintains the DemandBytes sum (per-query remaining ×
+	// per-chunk footprint, starved doubled) — so the live engine's
+	// per-scheduler-iteration demand polls are O(1) reads instead of
+	// registry walks. Query.demandContrib holds each query's term.
+	starvedQueries int
+	demandBytes    int64
+
+	// chunkQueries[c] lists the registered queries that still need chunk c
+	// (Query.chunkPos[c] is the slot), so part residency events touch only
+	// the interested queries instead of the whole registry. List order is
+	// arbitrary: every consumer either updates per-query state or takes a
+	// strict-total-order extremum, so decisions are order-independent.
+	chunkQueries [][]*Query
+
+	// vicDirty/vicDirtyList (allocated only for relevance ABMs under
+	// decision version 2) mark chunks whose interest counters or residency
+	// changed since the incremental victim heap last re-keyed them. Marking
+	// is O(1) at the sites that already touch the chunk; the heap re-keys
+	// the marked chunks' resident parts lazily at the next eviction round,
+	// so a round's cost is proportional to what actually changed, not to
+	// the pool.
+	vicDirty     []bool
+	vicDirtyList []int
 
 	// interestCount[c] is the number of registered queries that still need
 	// chunk c, maintained incrementally so relevance functions are O(1) in
@@ -256,6 +315,9 @@ type ABM struct {
 
 	closed bool
 	strat  strategy
+	// relev is strat downcast to the relevance strategy (nil otherwise),
+	// for the victim-heap hooks on the eviction/load paths.
+	relev *relevStrategy
 
 	// evictAside is makeSpace's scratch for heap entries popped but not
 	// evicted (pinned, assembling, fresh or kept); they are pushed back when
@@ -286,8 +348,13 @@ type strategy interface {
 	next(p *sim.Proc, q *Query) (chunk int, ok bool)
 }
 
-// New creates an ABM over the layout, backed by the simulated disk.
+// New creates an ABM over the layout, backed by the simulated disk. Unless
+// the config pins a DecisionVersion, simulation ABMs run version 1: every
+// decision stays byte-identical to the checked-in golden.
 func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
+	if cfg.DecisionVersion == 0 {
+		cfg.DecisionVersion = 1
+	}
 	a := newABM(env, layout, cfg)
 	a.env = env
 	a.disk = d
@@ -310,9 +377,15 @@ func New(env *sim.Env, d *disk.Disk, layout storage.Layout, cfg Config) *ABM {
 // NewLive creates a simulation-free ABM: bookkeeping plus the policy
 // decision core, driven externally (by internal/engine) under the given
 // clock. Central loader processes are never started; the engine's
-// scheduler goroutine polls Policy().NextLoad instead.
+// scheduler goroutine polls Policy().NextLoad instead. Unless the config
+// pins a DecisionVersion, live ABMs run version 2 (no decision golden binds
+// them), which keeps relevance candidate ranking and victim selection fully
+// incremental at high stream counts.
 func NewLive(clock Clock, layout storage.Layout, cfg Config) *ABM {
 	cfg.DisableLoader = true
+	if cfg.DecisionVersion == 0 {
+		cfg.DecisionVersion = 2
+	}
 	a := newABM(clock, layout, cfg)
 	if a.chunkCost == 0 {
 		// Waiting-time normalisation only; any plausible per-chunk load
@@ -334,11 +407,16 @@ func newABM(clock Clock, layout storage.Layout, cfg Config) *ABM {
 		almostInterest:  make([]int, layout.NumChunks()),
 		assembling:      make(map[partKey]int),
 		fresh:           make(map[int]bool),
+		chunkQueries:    make([][]*Query, layout.NumChunks()),
 		chunkCost:       cfg.ChunkCost,
 		timeBase:        time.Now(),
+		v2:              cfg.DecisionVersion >= 2,
 	}
 	if layout.Columnar() {
 		a.groupIdx = make(map[storage.ColSet]*colGroup)
+	}
+	if a.v2 && cfg.Policy == Relevance {
+		a.vicDirty = make([]bool, layout.NumChunks())
 	}
 	switch cfg.Policy {
 	case Normal:
@@ -348,7 +426,8 @@ func newABM(clock Clock, layout storage.Layout, cfg Config) *ABM {
 	case Elevator:
 		a.strat = &elevStrategy{a: a}
 	case Relevance:
-		a.strat = &relevStrategy{a: a}
+		a.relev = &relevStrategy{a: a}
+		a.strat = a.relev
 	default:
 		panic(fmt.Sprintf("core: unknown policy %v", cfg.Policy))
 	}
@@ -385,10 +464,12 @@ func (a *ABM) NewQuery(name string, ranges storage.RangeSet, cols storage.ColSet
 		ID: a.nextID, Name: name, Ranges: ranges, Cols: cols,
 		needed:   make([]bool, a.layout.NumChunks()),
 		availPos: make([]int, a.layout.NumChunks()),
+		chunkPos: make([]int, a.layout.NumChunks()),
 		cursor:   ranges.Min(),
 	}
 	for c := range q.availPos {
 		q.availPos[c] = -1
+		q.chunkPos[c] = -1
 	}
 	ranges.Each(func(c int) { q.needed[c] = true; q.neededCount++ })
 	return q
@@ -405,7 +486,10 @@ func (a *ABM) Register(q *Query) {
 	q.seq = a.regSeq
 	a.regSeq++
 	q.loadPos = -1
+	q.abm = a
+	q.chunkBytesAvg = a.queryChunkBytes(q)
 	a.queries = append(a.queries, q)
+	a.candDirty = true
 	q.group = a.joinGroup(q.Cols)
 	for c := 0; c < len(q.needed); c++ {
 		if q.needed[c] {
@@ -413,6 +497,9 @@ func (a *ABM) Register(q *Query) {
 			if q.group != nil {
 				q.group.interested[c]++
 			}
+			q.chunkPos[c] = len(a.chunkQueries[c])
+			a.chunkQueries[c] = append(a.chunkQueries[c], q)
+			a.markVicDirty(c)
 		}
 	}
 	// Seed the availability index from the chunks already buffered: only
@@ -424,7 +511,13 @@ func (a *ABM) Register(q *Query) {
 			q.availList = append(q.availList, c)
 		}
 	}
+	if a.v2 {
+		for i := len(q.availList)/2 - 1; i >= 0; i-- {
+			q.availSiftDown(i)
+		}
+	}
 	a.updateStarveFlags(q)
+	a.refreshDemand(q)
 	a.strat.Register(q)
 	a.broadcast()
 }
@@ -437,6 +530,7 @@ func (a *ABM) unregister(q *Query) {
 			break
 		}
 	}
+	a.candDirty = true
 	for c := 0; c < len(q.needed); c++ {
 		if q.needed[c] {
 			a.interestCount[c]--
@@ -455,14 +549,40 @@ func (a *ABM) unregister(q *Query) {
 					g.almost[c]--
 				}
 			}
+			a.dropChunkQuery(q, c)
+			a.markVicDirty(c)
 		}
 	}
+	if q.starved {
+		a.starvedQueries--
+	}
 	q.starved, q.almostStarved = false, false
+	a.demandBytes -= q.demandContrib
+	q.demandContrib = 0
+	q.SetBlocked(false)
+	q.abm = nil
+	q.waker = nil
 	a.dropLoadCand(q)
 	a.leaveGroup(q.group)
 	q.group = nil
 	a.strat.Unregister(q)
 	a.broadcast()
+}
+
+// dropChunkQuery removes q from the chunkQueries[c] inverted index
+// (swap-remove; list order is decision-irrelevant).
+func (a *ABM) dropChunkQuery(q *Query, c int) {
+	i := q.chunkPos[c]
+	if i < 0 {
+		return
+	}
+	list := a.chunkQueries[c]
+	last := len(list) - 1
+	moved := list[last]
+	list[i] = moved
+	moved.chunkPos[c] = i
+	a.chunkQueries[c] = list[:last]
+	q.chunkPos[c] = -1
 }
 
 // Next delivers the next chunk for q (pinned) or ok=false at end of scan.
@@ -495,8 +615,12 @@ func (a *ABM) Release(q *Query, c int) {
 			g.almost[c]--
 		}
 	}
+	a.dropChunkQuery(q, c)
+	a.markVicDirty(c)
 	a.loseAvailability(q, c)
 	q.lastService = a.clock.Now()
+	a.refreshDemand(q)
+	a.candFix(q)
 	a.strat.Consumed(q, c)
 	a.broadcast()
 }
@@ -593,11 +717,13 @@ func (a *ABM) updateStarveFlags(q *Query) {
 	almost := q.available() < a.cfg.StarveThreshold+1
 	if starved != q.starved {
 		q.starved = starved
+		a.starvedQueries += flipDelta(starved)
 		var group []int
 		if q.group != nil {
 			group = q.group.starved
 		}
 		a.bumpNeededCounts(a.starvedInterest, group, q, flipDelta(starved))
+		a.refreshDemand(q)
 	}
 	if almost != q.almostStarved {
 		q.almostStarved = almost
@@ -614,15 +740,15 @@ func (a *ABM) updateStarveFlags(q *Query) {
 	// it.
 	if member := starved && q.neededCount > len(q.availList); member != (q.loadPos >= 0) {
 		if member {
-			q.loadPos = len(a.loadCands)
-			a.loadCands = append(a.loadCands, q)
+			a.addLoadCand(q)
 		} else {
 			a.dropLoadCand(q)
 		}
 	}
 }
 
-// dropLoadCand removes q from the loadCands index (swap-remove).
+// dropLoadCand removes q from the loadCands index (swap-remove; under
+// decision version 2 the swapped-in query is sifted to keep the heap order).
 func (a *ABM) dropLoadCand(q *Query) {
 	i := q.loadPos
 	if i < 0 {
@@ -634,6 +760,144 @@ func (a *ABM) dropLoadCand(q *Query) {
 	moved.loadPos = i
 	a.loadCands = a.loadCands[:last]
 	q.loadPos = -1
+	if a.v2 && i < last && !a.candDirty {
+		if !a.candSiftDown(i) {
+			a.candSiftUp(i)
+		}
+	}
+}
+
+// addLoadCand inserts q into the loadCands index: plain append under
+// version 1, a keyed heap push under version 2.
+func (a *ABM) addLoadCand(q *Query) {
+	q.loadPos = len(a.loadCands)
+	a.loadCands = append(a.loadCands, q)
+	if a.v2 {
+		q.candKey = a.candKeyOf(q)
+		if !a.candDirty {
+			a.candSiftUp(q.loadPos)
+		}
+	}
+}
+
+// candKeyOf maps queryRelevance to a time-free min-heap key: multiplying
+// the relevance by the positive constant chunkCost×len(queries) and
+// dropping the clock term (identical across candidates at any instant)
+// turns "highest relevance, lowest seq" into "lowest remaining×cost×n +
+// lastService, lowest seq". The key changes only when the query's remaining
+// count or service stamp does — re-keyed at those events — plus a global
+// rebuild when len(queries) or chunkCost shifts (candDirty).
+func (a *ABM) candKeyOf(q *Query) float64 {
+	var k float64
+	if !a.cfg.NoShortQueryPriority {
+		k += float64(q.remaining()) * a.chunkCost * float64(len(a.queries))
+	}
+	if !a.cfg.NoWaitPromotion {
+		k += q.lastService
+	}
+	return k
+}
+
+// candLess is the v2 candidate-heap order: lowest key first (highest
+// relevance), registration sequence breaking exact ties — the same strict
+// total order version 1's candBefore sorts by.
+func candLess(x, y *Query) bool {
+	if x.candKey != y.candKey {
+		return x.candKey < y.candKey
+	}
+	return x.seq < y.seq
+}
+
+// candFix re-sites q after its key inputs (remaining, lastService) changed.
+func (a *ABM) candFix(q *Query) {
+	if !a.v2 || q.loadPos < 0 || a.candDirty {
+		return
+	}
+	q.candKey = a.candKeyOf(q)
+	if !a.candSiftDown(q.loadPos) {
+		a.candSiftUp(q.loadPos)
+	}
+}
+
+// candRebuild re-keys every candidate and restores the heap order; called
+// lazily by NextLoad after the key scale shifted (registry size or chunk
+// cost) — once per shift, not per decision.
+func (a *ABM) candRebuild() {
+	for _, q := range a.loadCands {
+		q.candKey = a.candKeyOf(q)
+	}
+	for i := len(a.loadCands)/2 - 1; i >= 0; i-- {
+		a.candSiftDown(i)
+	}
+	a.candDirty = false
+}
+
+// candPop removes and returns the best candidate (lowest key).
+func (a *ABM) candPop() *Query {
+	q := a.loadCands[0]
+	a.dropLoadCand(q)
+	return q
+}
+
+func (a *ABM) candSiftUp(i int) {
+	h := a.loadCands
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].loadPos, h[parent].loadPos = i, parent
+		i = parent
+	}
+}
+
+func (a *ABM) candSiftDown(i int) bool {
+	h := a.loadCands
+	n := len(h)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		best := l
+		if r := l + 1; r < n && candLess(h[r], h[l]) {
+			best = r
+		}
+		if !candLess(h[best], h[i]) {
+			return moved
+		}
+		h[i], h[best] = h[best], h[i]
+		h[i].loadPos, h[best].loadPos = i, best
+		i = best
+		moved = true
+	}
+}
+
+// refreshDemand recomputes q's term of the maintained DemandBytes sum
+// (remaining × per-chunk footprint, doubled while starved) and folds the
+// delta into the ABM total. Called at registration, consumption and
+// starvation flips — the only events that move the term.
+func (a *ABM) refreshDemand(q *Query) {
+	contrib := int64(float64(q.remaining()) * q.chunkBytesAvg)
+	if q.starved {
+		contrib *= 2
+	}
+	a.demandBytes += contrib - q.demandContrib
+	q.demandContrib = contrib
+}
+
+// markVicDirty flags chunk c for re-keying in the incremental victim heap
+// (no-op unless the ABM maintains one: relevance policy under decision
+// version 2). O(1); the heap re-keys the chunk's resident parts at the next
+// eviction round.
+func (a *ABM) markVicDirty(c int) {
+	if a.vicDirty == nil || a.vicDirty[c] {
+		return
+	}
+	a.vicDirty[c] = true
+	a.vicDirtyList = append(a.vicDirtyList, c)
 }
 
 func flipDelta(on bool) int {
@@ -645,7 +909,8 @@ func flipDelta(on bool) int {
 
 // bumpNeededCounts adds delta to counts[c] (and groupCounts[c], when
 // non-nil) for every chunk q still needs, walking only the query's own
-// range span.
+// range span. The touched chunks are marked for victim-heap re-keying:
+// starved/almost interest flips move their keepRelevance scores.
 func (a *ABM) bumpNeededCounts(counts, groupCounts []int, q *Query, delta int) {
 	lo, hi := q.Ranges.Min(), q.Ranges.Max()
 	for c := lo; c <= hi; c++ {
@@ -654,18 +919,28 @@ func (a *ABM) bumpNeededCounts(counts, groupCounts []int, q *Query, delta int) {
 			if groupCounts != nil {
 				groupCounts[c] += delta
 			}
+			a.markVicDirty(c)
 		}
 	}
 }
 
 // gainAvailability records that chunk c became fully resident for q.
+// Under decision version 2 the availability list is an indexed min-heap on
+// the chunk id, so the sequential-order pickers read their next chunk at
+// the root; the per-stream waker (live engine) fires on every gain.
 func (a *ABM) gainAvailability(q *Query, c int) {
 	if q.availPos[c] >= 0 {
 		return
 	}
 	q.availPos[c] = len(q.availList)
 	q.availList = append(q.availList, c)
+	if a.v2 {
+		q.availSiftUp(len(q.availList) - 1)
+	}
 	a.updateStarveFlags(q)
+	if q.waker != nil {
+		q.waker()
+	}
 }
 
 // loseAvailability records that chunk c is no longer both needed by q and
@@ -681,18 +956,30 @@ func (a *ABM) loseAvailability(q *Query, c int) {
 	q.availPos[moved] = i
 	q.availList = q.availList[:last]
 	q.availPos[c] = -1
+	if a.v2 && i < last {
+		if !q.availSiftDown(i) {
+			q.availSiftUp(i)
+		}
+	}
 	a.updateStarveFlags(q)
 }
 
 // partBecameResident propagates one part load into the per-query
 // availability state: a query gains the chunk iff it needs it, reads the
 // loaded column, and the chunk is now fully resident for its column set.
+// Only the chunk's inverted index is walked — membership there already
+// implies the query needs the chunk — so a part event costs O(interested
+// queries), not O(registered queries). The visit order differs from the
+// registry order the code historically walked, but every per-query effect
+// here is independent of the others and the shared counters commute, so
+// decisions are unchanged (the loadCands order this can permute is ranked
+// under a strict total order downstream).
 func (a *ABM) partBecameResident(k partKey) {
 	bit := colBit(k.col)
 	res := a.cache.residentCols[k.chunk]
-	for _, q := range a.queries {
+	for _, q := range a.chunkQueries[k.chunk] {
 		req := a.cache.requiredBits(a.queryCols(q))
-		if req&bit != 0 && req&^res == 0 && q.needs(k.chunk) {
+		if req&bit != 0 && req&^res == 0 {
 			a.gainAvailability(q, k.chunk)
 		}
 	}
@@ -703,9 +990,9 @@ func (a *ABM) partBecameResident(k partKey) {
 func (a *ABM) partLeavingResidency(k partKey) {
 	bit := colBit(k.col)
 	res := a.cache.residentCols[k.chunk]
-	for _, q := range a.queries {
+	for _, q := range a.chunkQueries[k.chunk] {
 		req := a.cache.requiredBits(a.queryCols(q))
-		if req&bit != 0 && req&^res == 0 && q.needs(k.chunk) {
+		if req&bit != 0 && req&^res == 0 {
 			a.loseAvailability(q, k.chunk)
 		}
 	}
@@ -714,11 +1001,25 @@ func (a *ABM) partLeavingResidency(k partKey) {
 // evictPart evicts one part, keeping the availability state consistent.
 func (a *ABM) evictPart(k partKey) {
 	a.partLeavingResidency(k)
+	if a.vicDirty != nil {
+		a.markVicDirty(k.chunk)
+		a.relev.vicRemove(a.cache.parts[k])
+	}
 	a.cache.evict(k)
 	a.stats.Evictions++
 	if a.onEvict != nil {
 		a.onEvict(k.chunk, k.col)
 	}
+}
+
+// vicAdd enrols a freshly loaded part in the incremental victim heap
+// (no-op unless the ABM maintains one).
+func (a *ABM) vicAdd(k partKey) {
+	if a.vicDirty == nil {
+		return
+	}
+	a.markVicDirty(k.chunk)
+	a.relev.vicPush(a.cache.parts[k])
 }
 
 // interested counts registered queries that still need chunk c; with a
@@ -764,6 +1065,7 @@ func (a *ABM) loadParts(p *sim.Proc, c int, cols storage.ColSet, attr *Query) in
 		}
 		a.cache.finishLoad(k, a.clock.Now())
 		a.partBecameResident(k)
+		a.vicAdd(k)
 		a.stats.Loads++
 		a.broadcast()
 	}

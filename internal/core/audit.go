@@ -30,6 +30,15 @@ func (a *ABM) AuditIncremental() error {
 	if err := a.auditLoadCands(); err != nil {
 		return err
 	}
+	if err := a.auditDerivedCounters(); err != nil {
+		return err
+	}
+	if err := a.auditChunkQueries(); err != nil {
+		return err
+	}
+	if err := a.auditV2Heaps(); err != nil {
+		return err
+	}
 	return a.auditByteAccounting()
 }
 
@@ -281,6 +290,159 @@ func (a *ABM) auditLoadCands() error {
 		}
 	}
 	return nil
+}
+
+// auditDerivedCounters recomputes the registry-level scalar counters — the
+// blocked count, the starved count and the maintained DemandBytes sum —
+// against a full registry walk (the exact loops the counters replaced).
+func (a *ABM) auditDerivedCounters() error {
+	blocked, starved := 0, 0
+	var demand int64
+	for _, q := range a.queries {
+		if q.blocked {
+			blocked++
+		}
+		if q.starved {
+			starved++
+		}
+		b := int64(float64(q.remaining()) * a.queryChunkBytes(q))
+		if q.starved {
+			b *= 2
+		}
+		if q.demandContrib != b {
+			return fmt.Errorf("core: %s demandContrib = %d, recomputed %d", q.Name, q.demandContrib, b)
+		}
+		demand += b
+		if q.abm != a {
+			return fmt.Errorf("core: %s not backlinked to its ABM", q.Name)
+		}
+	}
+	if a.blockedCount != blocked {
+		return fmt.Errorf("core: blockedCount = %d, recomputed %d", a.blockedCount, blocked)
+	}
+	if a.starvedQueries != starved {
+		return fmt.Errorf("core: starvedQueries = %d, recomputed %d", a.starvedQueries, starved)
+	}
+	if a.demandBytes != demand {
+		return fmt.Errorf("core: demandBytes = %d, recomputed %d", a.demandBytes, demand)
+	}
+	return nil
+}
+
+// auditChunkQueries recomputes the per-chunk inverted query index: exactly
+// the registered queries still needing the chunk, each at its recorded slot.
+func (a *ABM) auditChunkQueries() error {
+	n := a.layout.NumChunks()
+	want := make([]int, n)
+	for _, q := range a.queries {
+		for c := 0; c < n; c++ {
+			if q.needs(c) {
+				want[c]++
+				i := q.chunkPos[c]
+				if i < 0 || i >= len(a.chunkQueries[c]) || a.chunkQueries[c][i] != q {
+					return fmt.Errorf("core: %s chunkPos[%d] = %d inconsistent", q.Name, c, i)
+				}
+			} else if q.chunkPos[c] != -1 {
+				return fmt.Errorf("core: %s chunkPos[%d] = %d for unneeded chunk", q.Name, c, q.chunkPos[c])
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		if len(a.chunkQueries[c]) != want[c] {
+			return fmt.Errorf("core: chunkQueries[%d] has %d entries, recomputed %d", c, len(a.chunkQueries[c]), want[c])
+		}
+	}
+	return nil
+}
+
+// auditV2Heaps checks the decision-version-2 incremental structures: the
+// per-query availability min-heaps, the candidate heap (keys, order, and its
+// argmin against a linear queryRelevance scan — the incremental-vs-reference
+// cross-check), and the relevance victim heap (membership, slots, order, and
+// non-dirty scores against the live keepRelevanceScore).
+func (a *ABM) auditV2Heaps() error {
+	if !a.v2 {
+		return nil
+	}
+	for _, q := range a.queries {
+		h := q.availList
+		for i := 1; i < len(h); i++ {
+			if h[i] < h[(i-1)/2] {
+				return fmt.Errorf("core: %s avail heap order violated at slot %d", q.Name, i)
+			}
+		}
+	}
+	if !a.candDirty {
+		for i, q := range a.loadCands {
+			if want := a.candKeyOf(q); q.candKey != want {
+				return fmt.Errorf("core: %s candKey = %v, recomputed %v", q.Name, q.candKey, want)
+			}
+			if i > 0 && candLess(a.loadCands[i], a.loadCands[(i-1)/2]) {
+				return fmt.Errorf("core: candidate heap order violated at slot %d (%s)", i, q.Name)
+			}
+		}
+		// Cross-check the heap argmin against a linear queryRelevance scan —
+		// the version-1 reference ranking. candKey is an exact algebraic
+		// transform of queryRelevance, but the two compute through different
+		// float operations, so the comparison carries a relative tolerance.
+		if rs := a.relev; rs != nil && len(a.loadCands) > 0 {
+			best := a.loadCands[0]
+			br := rs.queryRelevance(best)
+			for _, q := range a.loadCands {
+				if q == best {
+					continue
+				}
+				qr := rs.queryRelevance(q)
+				if tol := 1e-9 * (abs64(br) + abs64(qr) + 1); qr > br+tol {
+					return fmt.Errorf("core: candidate heap root %s (rel %v) loses to %s (rel %v)",
+						best.Name, br, q.Name, qr)
+				}
+			}
+		}
+	}
+	if a.vicDirty == nil {
+		return nil
+	}
+	rs := a.relev
+	loaded := 0
+	for _, p := range a.cache.loaded {
+		switch p.state {
+		case partLoaded:
+			loaded++
+			if p.vicIdx < 0 || p.vicIdx >= len(rs.vHeap) || rs.vHeap[p.vicIdx] != p {
+				return fmt.Errorf("core: loaded part %v not at victim-heap slot %d", p.key, p.vicIdx)
+			}
+			// A chunk not marked dirty must carry its live keepRelevance
+			// score, modulo the frozen-DSM-terms contract: for NSM the score
+			// is purely counter-derived, so check it exactly there.
+			if !a.layout.Columnar() && !a.vicDirty[p.key.chunk] {
+				if want := rs.keepRelevanceScore(p); p.vicScore != want {
+					return fmt.Errorf("core: part %v vicScore = %v, live score %v (chunk not dirty)",
+						p.key, p.vicScore, want)
+				}
+			}
+		case partLoading:
+			if p.vicIdx != -1 {
+				return fmt.Errorf("core: loading part %v sits in the victim heap", p.key)
+			}
+		}
+	}
+	if len(rs.vHeap) != loaded {
+		return fmt.Errorf("core: victim heap has %d entries, %d loaded parts", len(rs.vHeap), loaded)
+	}
+	for i := 1; i < len(rs.vHeap); i++ {
+		if vicBefore(rs.vHeap[i], rs.vHeap[(i-1)/2]) {
+			return fmt.Errorf("core: victim heap order violated at slot %d (%v)", i, rs.vHeap[i].key)
+		}
+	}
+	return nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // auditByteAccounting cross-checks the page reference map against the

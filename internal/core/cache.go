@@ -36,6 +36,12 @@ type part struct {
 	loadedAt  float64 // virtual time the load completed
 	lastTouch float64 // last load or consumption, for LRU
 	lruIdx    int     // slot in the cache's LRU victim heap, or -1
+
+	// vicIdx/vicScore site the part in the relevance policy's incremental
+	// victim heap (decision version 2 only): vicIdx is the heap slot or -1,
+	// vicScore the keepRelevance score the part was last keyed with.
+	vicIdx   int
+	vicScore float64
 }
 
 // colBit maps a part column to its bit in the per-chunk residency sets. The
@@ -244,7 +250,7 @@ func (b *bufcache) beginLoad(k partKey, now float64) *part {
 	if b.state(k) != partAbsent {
 		panic(fmt.Sprintf("core: beginLoad(%v) in state %d", k, b.state(k)))
 	}
-	p := &part{key: k, state: partLoading, lastTouch: now, lruIdx: -1}
+	p := &part{key: k, state: partLoading, lastTouch: now, lruIdx: -1, vicIdx: -1}
 	b.parts[k] = p
 	b.loaded = append(b.loaded, p)
 	b.loadingCols[k.chunk] |= colBit(k.col)

@@ -84,9 +84,9 @@ func (s *elevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 			a.Pin(q, c)
 			return c, true
 		}
-		q.blocked = true
+		q.SetBlocked(true)
 		a.activity.Wait(p)
-		q.blocked = false
+		q.SetBlocked(false)
 	}
 }
 
@@ -102,11 +102,19 @@ func (s *elevStrategy) PickAvailable(q *Query) int {
 		}
 	}
 	// Lowest-index available chunk, straight from the query's maintained
-	// availability list (order-independent minimum).
+	// availability list (order-independent minimum). Under decision
+	// version 2 the list is a chunk-keyed min-heap, so the minimum is its
+	// root.
 	chunk := -1
-	for _, c := range q.availList {
-		if q.needs(c) && (chunk < 0 || c < chunk) {
-			chunk = c
+	if a.v2 {
+		if len(q.availList) > 0 {
+			chunk = q.availList[0]
+		}
+	} else {
+		for _, c := range q.availList {
+			if q.needs(c) && (chunk < 0 || c < chunk) {
+				chunk = c
+			}
 		}
 	}
 	if chunk >= 0 {

@@ -58,13 +58,7 @@ func (a *ABM) DrainExcess() bool {
 // registered queries and how many of them are starved under the configured
 // threshold.
 func (a *ABM) Demand() (active, starved int) {
-	active = len(a.queries)
-	for _, q := range a.queries {
-		if q.starved {
-			starved++
-		}
-	}
-	return active, starved
+	return len(a.queries), a.starvedQueries
 }
 
 // DemandBytes estimates the table's outstanding work in bytes: for every
@@ -75,17 +69,10 @@ func (a *ABM) Demand() (active, starved int) {
 // streams still have gigabytes to scan outweighs one with the same stream
 // count nursing a few trailing chunks — §7.1's "system-wide load", not
 // just stream arity.
-func (a *ABM) DemandBytes() int64 {
-	var total int64
-	for _, q := range a.queries {
-		b := int64(float64(q.remaining()) * a.queryChunkBytes(q))
-		if q.starved {
-			b *= 2
-		}
-		total += b
-	}
-	return total
-}
+// The sum is maintained incrementally (refreshDemand at registration,
+// consumption and starvation flips), so the engine's per-iteration poll
+// across every table is a field read per table, not a registry walk.
+func (a *ABM) DemandBytes() int64 { return a.demandBytes }
 
 // queryChunkBytes returns the average bytes one chunk delivers to q: the
 // query's column footprint per chunk in DSM, the table-average chunk size
@@ -110,6 +97,8 @@ func (a *ABM) queryChunkBytes(q *Query) float64 {
 func (a *ABM) SetChunkCost(c float64) {
 	if c > 0 {
 		a.chunkCost = c
+		// The v2 candidate keys embed the cost; re-key lazily.
+		a.candDirty = true
 	}
 }
 
@@ -200,6 +189,7 @@ func (a *ABM) FinishLoad(d LoadDecision) {
 		}
 		a.cache.finishLoad(k, a.clock.Now())
 		a.partBecameResident(k)
+		a.vicAdd(k)
 		a.stats.Loads++
 	}
 	// Protect the fresh chunk from eviction until a query pins it: the live
@@ -234,5 +224,6 @@ func (a *ABM) AbortLoad(d LoadDecision) {
 func (a *ABM) Pin(q *Query, c int) {
 	a.cache.pinAll(a.queryCols(q), c, a.clock.Now())
 	q.lastService = a.clock.Now()
+	a.candFix(q)
 	delete(a.fresh, c)
 }

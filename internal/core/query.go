@@ -49,7 +49,29 @@ type Query struct {
 	// loadPos is the query's slot in the ABM's loadCands index (the
 	// starved queries with something left to load), or -1. Maintained by
 	// updateStarveFlags at every availability or consumption event.
+	// Under decision version 2 loadCands is a min-heap keyed by candKey
+	// and loadPos is the heap slot.
 	loadPos int
+	// candKey is the query's v2 candidate-heap key: an affine transform of
+	// -queryRelevance whose time term cancels across candidates, so the key
+	// only changes when the query's remaining count or service stamp does.
+	candKey float64
+
+	// abm backrefs the ABM the query is registered with (nil otherwise),
+	// so SetBlocked can maintain the registry-wide blocked count.
+	abm *ABM
+	// chunkPos[c] is the query's slot in the ABM's chunkQueries[c] inverted
+	// index (registered queries still needing chunk c), or -1.
+	chunkPos []int
+	// demandContrib is the query's current term in the ABM's maintained
+	// DemandBytes sum: remaining chunks × per-chunk byte footprint, doubled
+	// while starved. chunkBytesAvg caches the footprint at registration.
+	demandContrib int64
+	chunkBytesAvg float64
+	// waker, when set (live engine), is invoked whenever the query gains an
+	// available chunk — the engine wakes exactly that stream instead of
+	// broadcasting to every parked goroutine.
+	waker func()
 
 	enterTime   float64
 	doneTime    float64
@@ -114,8 +136,70 @@ func (q *Query) Needs(c int) bool { return q.needs(c) }
 // The sim delivery loops set it around their signal waits; the live engine
 // must do the same around its condition-variable waits, because the
 // relevance policy's eviction relaxation triggers only when every
-// registered query is blocked.
-func (q *Query) SetBlocked(b bool) { q.blocked = b }
+// registered query is blocked. The ABM's registry-wide blocked count is
+// maintained here, so that "is every query blocked?" is one comparison.
+func (q *Query) SetBlocked(b bool) {
+	if b == q.blocked {
+		return
+	}
+	q.blocked = b
+	if q.abm != nil {
+		if b {
+			q.abm.blockedCount++
+		} else {
+			q.abm.blockedCount--
+		}
+	}
+}
+
+// SetWaker installs the live engine's per-stream wake callback, invoked
+// (under the engine's lock) whenever the query gains an available chunk.
+// Gaining availability is a complete wake condition for every policy: the
+// relevance and elevator pickers deliver only chunks on the availability
+// list, and the sequential cursor's next chunk becoming fully resident is
+// itself a gain event. Nil uninstalls.
+func (q *Query) SetWaker(fn func()) { q.waker = fn }
+
+// availSiftUp/availSiftDown maintain the decision-version-2 shape of
+// availList: an indexed min-heap on the chunk id (availPos doubles as the
+// heap slot), so the lowest available chunk sits at the root and membership
+// changes cost O(log available) instead of leaving the pickers to walk the
+// list. Version 1 keeps the historical unordered swap-remove list.
+func (q *Query) availSiftUp(i int) {
+	h := q.availList
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		q.availPos[h[i]], q.availPos[h[parent]] = i, parent
+		i = parent
+	}
+}
+
+func (q *Query) availSiftDown(i int) bool {
+	h := q.availList
+	n := len(h)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		best := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			best = r
+		}
+		if h[i] <= h[best] {
+			return moved
+		}
+		h[i], h[best] = h[best], h[i]
+		q.availPos[h[i]], q.availPos[h[best]] = i, best
+		i = best
+		moved = true
+	}
+}
 
 // remainingSet materialises the still-needed chunks as a RangeSet (used by
 // attach overlap estimation).

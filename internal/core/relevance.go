@@ -37,6 +37,23 @@ type relevStrategy struct {
 	keepUseful   []keepEntry
 	keepTrigger  []keepEntry
 	evictScratch []*part
+
+	// Decision-version-2 incremental victim heap: vHeap holds every loaded
+	// part, min-ordered by (vicScore, chunk, col). Scores are re-keyed
+	// lazily — the ABM marks chunks dirty at the O(1) sites that change
+	// their counters or residency, and flushVicDirty re-keys just those
+	// chunks' parts at the start of an eviction round — so a round costs
+	// O(changed + evicted × log pool) instead of a full pool walk. vicE and
+	// vicCols hold the per-chunk frozen DSM terms (almost-starved count and
+	// column union) between flushes. The aside slices park entries a pass
+	// must not evict; every parked entry is re-pushed before EnsureSpace
+	// returns, so the heap is complete between rounds.
+	vHeap     []*part
+	vicE      []float64
+	vicCols   []storage.ColSet
+	vicAsideB []*part
+	vicUseful []*part
+	vicTrig   []*part
 }
 
 // loadCand is one starved query awaiting service, with its priority and its
@@ -171,9 +188,9 @@ func (s *relevStrategy) next(p *sim.Proc, q *Query) (int, bool) {
 		}
 		// waitForChunk: the ABM loader is woken by the broadcasts that
 		// accompany every registration, release and load completion.
-		q.blocked = true
+		q.SetBlocked(true)
 		a.activity.Wait(p)
-		q.blocked = false
+		q.SetBlocked(false)
 	}
 }
 
@@ -285,6 +302,9 @@ func (s *relevStrategy) loader(p *sim.Proc) {
 // implementation insertion-sorted all O(starved²) of them.
 func (s *relevStrategy) NextLoad() (LoadDecision, bool) {
 	a := s.a
+	if a.v2 {
+		return s.nextLoadV2()
+	}
 	s.cands = s.cands[:0]
 	// loadCands is the maintained candidate index: the starved queries
 	// with a non-resident needed chunk. A round with nothing loadable
@@ -306,6 +326,38 @@ func (s *relevStrategy) NextLoad() (LoadDecision, bool) {
 		}
 	}
 	return LoadDecision{}, false
+}
+
+// nextLoadV2 is NextLoad on the incrementally maintained candidate heap
+// (decision version 2): loadCands is already a min-heap on candKey — a
+// time-free transform of queryRelevance, re-keyed at the per-query events
+// that move it — so the common round pops one candidate in O(log starved)
+// with no per-round rebuild or scoring pass at all. Candidates with nothing
+// loadable (all remaining work in flight) are set aside and re-pushed after
+// the decision; a registry-size or chunk-cost shift re-keys the whole heap
+// once, lazily.
+func (s *relevStrategy) nextLoadV2() (LoadDecision, bool) {
+	a := s.a
+	if a.candDirty {
+		a.candRebuild()
+	}
+	aside := a.candAside[:0]
+	var d LoadDecision
+	ok := false
+	for len(a.loadCands) > 0 {
+		q := a.candPop()
+		aside = append(aside, q)
+		if c, cols, got := s.chooseChunkToLoad(q); got {
+			d = LoadDecision{Query: q, Chunk: c, Cols: cols}
+			ok = true
+			break
+		}
+	}
+	for _, q := range aside {
+		a.addLoadCand(q)
+	}
+	a.candAside = aside[:0]
+	return d, ok
 }
 
 // queryRelevance prioritises starved queries that need little more data,
@@ -421,6 +473,10 @@ func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 		}
 	}
 
+	if a.v2 {
+		return s.ensureSpaceV2(need, trigger)
+	}
+
 	// Guarded pass: the heap starts with only the unprotected entries;
 	// chunks the trigger needs or a starved query still wants sit in the
 	// keepTrigger/keepUseful buckets.
@@ -428,10 +484,8 @@ func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 	if s.evictFromKeepHeap(need) {
 		return true
 	}
-	for _, q := range a.queries {
-		if !q.blocked {
-			return false // progress is still possible; wait instead
-		}
+	if a.blockedCount != len(a.queries) {
+		return false // progress is still possible; wait instead
 	}
 	// Relaxed pass, every query blocked: chunks useful to starved queries
 	// become eligible (avoiding the DSM-corner deadlock the paper's greedy
@@ -447,6 +501,231 @@ func (s *relevStrategy) EnsureSpace(need int64, trigger *Query) bool {
 	s.meldKeep(s.keepTrigger)
 	s.keepTrigger = s.keepTrigger[:0]
 	return s.evictFromKeepHeap(need)
+}
+
+// ensureSpaceV2 is EnsureSpace on the incrementally maintained victim heap
+// (decision version 2). The heap persists across rounds; a round starts by
+// re-keying only the chunks whose counters or residency changed since the
+// last one (flushVicDirty), then pops victims in keepRelevance order.
+// Protection guards are evaluated at pop instead of frozen at a build walk:
+// hard-ineligible parts (pinned, loading, assembling, fresh) are parked for
+// the whole call, chunks the trigger needs are spared until the last-resort
+// pass, and chunks useful to a starved query until the relaxed pass —
+// mirroring version 1's three passes, with the same all-queries-blocked
+// precondition (an O(1) counter read) before the widenings. DSM scores
+// whose resident-byte denominator shrank mid-round re-key monotonically at
+// pop, exactly as version 1's lazy revalidation. Every parked entry is
+// re-pushed before returning, so the heap is complete between rounds.
+func (s *relevStrategy) ensureSpaceV2(need int64, trigger *Query) bool {
+	a := s.a
+	s.flushVicDirty()
+	columnar := a.layout.Columnar()
+	blocked := s.vicAsideB[:0]
+	useful := s.vicUseful[:0]
+	trig := s.vicTrig[:0]
+	pass := 0
+	ok := false
+	for {
+		if a.cache.free() >= need {
+			ok = true
+			break
+		}
+		if len(s.vHeap) == 0 {
+			if pass == 0 {
+				if a.blockedCount != len(a.queries) {
+					break // progress is still possible; wait instead
+				}
+				pass = 1
+				for _, p := range useful {
+					s.vicPush(p)
+				}
+				useful = useful[:0]
+				continue
+			}
+			if pass == 1 {
+				pass = 2
+				for _, p := range trig {
+					s.vicPush(p)
+				}
+				trig = trig[:0]
+				continue
+			}
+			break
+		}
+		p := s.vicPop()
+		if a.blockedFromEviction(p) {
+			blocked = append(blocked, p)
+			continue
+		}
+		c := p.key.chunk
+		if columnar {
+			if cur := s.vicScoreDSM(c); cur > p.vicScore {
+				p.vicScore = cur
+				s.vicPush(p)
+				continue
+			}
+		}
+		if pass < 2 && trigger != nil && trigger.needed[c] {
+			trig = append(trig, p)
+			continue
+		}
+		if pass < 1 && a.starvedInterest[c] > 0 {
+			useful = append(useful, p)
+			continue
+		}
+		a.evictPart(p.key)
+	}
+	for _, p := range blocked {
+		s.vicPush(p)
+	}
+	for _, p := range useful {
+		s.vicPush(p)
+	}
+	for _, p := range trig {
+		s.vicPush(p)
+	}
+	s.vicAsideB, s.vicUseful, s.vicTrig = blocked[:0], useful[:0], trig[:0]
+	return ok
+}
+
+// flushVicDirty re-keys the victim-heap entries of every chunk marked dirty
+// since the last eviction round. A chunk whose counters did not change
+// keeps its frozen score, so flushing only the dirty set yields exactly the
+// per-round snapshot semantics of the build-from-scratch heap, at a cost
+// proportional to what actually changed.
+func (s *relevStrategy) flushVicDirty() {
+	a := s.a
+	if len(a.vicDirtyList) == 0 {
+		return
+	}
+	columnar := a.layout.Columnar()
+	if columnar && s.vicE == nil {
+		s.vicE = make([]float64, a.layout.NumChunks())
+		s.vicCols = make([]storage.ColSet, a.layout.NumChunks())
+	}
+	for _, c := range a.vicDirtyList {
+		a.vicDirty[c] = false
+		if columnar {
+			n, cols := a.almostNeeding(c)
+			s.vicE[c], s.vicCols[c] = float64(n), cols
+			score := s.vicScoreDSM(c)
+			for v := uint64(a.cache.residentCols[c]); v != 0; v &= v - 1 {
+				s.vicFix(a.cache.parts[partKey{chunk: c, col: bits.TrailingZeros64(v)}], score)
+			}
+		} else if a.cache.residentCols[c] != 0 {
+			score := float64(a.almostInterest[c])*qMax + float64(a.interestCount[c])
+			s.vicFix(a.cache.parts[partKey{chunk: c, col: -1}], score)
+		}
+	}
+	a.vicDirtyList = a.vicDirtyList[:0]
+}
+
+// vicScoreDSM scores chunk c's parts over the frozen almost-starved terms
+// and the live resident bytes of the frozen column union (the denominator
+// version 1 also keeps live within a round).
+func (s *relevStrategy) vicScoreDSM(c int) float64 {
+	pe := float64(s.cachedBytes(c, s.vicCols[c]))
+	if pe < 1 {
+		pe = 1
+	}
+	return s.vicE[c] / pe
+}
+
+// vicBefore is the victim order: lowest keepRelevance first, (chunk, col)
+// breaking ties — identical to keepBefore.
+func vicBefore(x, y *part) bool {
+	if x.vicScore != y.vicScore {
+		return x.vicScore < y.vicScore
+	}
+	if x.key.chunk != y.key.chunk {
+		return x.key.chunk < y.key.chunk
+	}
+	return x.key.col < y.key.col
+}
+
+func (s *relevStrategy) vicPush(p *part) {
+	if p.vicIdx >= 0 {
+		return
+	}
+	p.vicIdx = len(s.vHeap)
+	s.vHeap = append(s.vHeap, p)
+	s.vicUp(p.vicIdx)
+}
+
+// vicRemove deletes a part from the victim heap (no-op if absent, e.g. a
+// part popped by the in-progress eviction pass).
+func (s *relevStrategy) vicRemove(p *part) {
+	i := p.vicIdx
+	if i < 0 {
+		return
+	}
+	last := len(s.vHeap) - 1
+	moved := s.vHeap[last]
+	s.vHeap[i] = moved
+	moved.vicIdx = i
+	s.vHeap = s.vHeap[:last]
+	p.vicIdx = -1
+	if i < last {
+		if !s.vicDown(i) {
+			s.vicUp(i)
+		}
+	}
+}
+
+func (s *relevStrategy) vicPop() *part {
+	p := s.vHeap[0]
+	s.vicRemove(p)
+	return p
+}
+
+// vicFix re-keys an enrolled part and restores the heap order around it.
+func (s *relevStrategy) vicFix(p *part, score float64) {
+	if p == nil {
+		return
+	}
+	p.vicScore = score
+	if p.vicIdx < 0 {
+		return
+	}
+	if !s.vicDown(p.vicIdx) {
+		s.vicUp(p.vicIdx)
+	}
+}
+
+func (s *relevStrategy) vicUp(i int) {
+	h := s.vHeap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !vicBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].vicIdx, h[parent].vicIdx = i, parent
+		i = parent
+	}
+}
+
+func (s *relevStrategy) vicDown(i int) bool {
+	h := s.vHeap
+	n := len(h)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return moved
+		}
+		best := l
+		if r := l + 1; r < n && vicBefore(h[r], h[l]) {
+			best = r
+		}
+		if !vicBefore(h[best], h[i]) {
+			return moved
+		}
+		h[i], h[best] = h[best], h[i]
+		h[i].vicIdx, h[best].vicIdx = i, best
+		i = best
+		moved = true
+	}
 }
 
 // buildKeepHeap snapshots the evictable pool into the keepRelevance victim

@@ -37,8 +37,8 @@ func TestMakeSpaceGuardedPassProtectsStarved(t *testing.T) {
 	}
 	// hungry1 is not blocked: progress is still possible, so the eviction
 	// must fail without touching the protected chunks.
-	trigger.blocked = true
-	hungry2.blocked = true
+	trigger.SetBlocked(true)
+	hungry2.SetBlocked(true)
 	if rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("guarded pass evicted chunks useful to starved queries")
 	}
@@ -58,9 +58,9 @@ func TestMakeSpaceRelaxedPassWhenAllBlocked(t *testing.T) {
 	hungry2 := f.register("hungry2", rangeOf(16, 20), 0)
 	f.load(t, 10, 0)
 	f.load(t, 16, 0)
-	trigger.blocked = true
-	hungry1.blocked = true
-	hungry2.blocked = true
+	trigger.SetBlocked(true)
+	hungry1.SetBlocked(true)
+	hungry2.SetBlocked(true)
 	if !rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("relaxed pass failed to free space with every query blocked")
 	}
@@ -77,7 +77,7 @@ func TestMakeSpaceLastResortEvictsTriggersOwnChunks(t *testing.T) {
 	trigger := f.register("trigger", rangeOf(0, 10), 0)
 	f.load(t, 0, 0)
 	f.load(t, 1, 0)
-	trigger.blocked = true
+	trigger.SetBlocked(true)
 	if !rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("last-resort pass failed: loader would wedge on its own chunks")
 	}
@@ -96,7 +96,7 @@ func TestMakeSpaceLastResortSparesPinnedParts(t *testing.T) {
 	f.load(t, 1, 0)
 	f.abm.cache.pin(partKey{chunk: 0, col: -1})
 	f.abm.cache.pin(partKey{chunk: 1, col: -1})
-	trigger.blocked = true
+	trigger.SetBlocked(true)
 	if rs.EnsureSpace(chunkSize(f), trigger) {
 		t.Fatal("eviction claimed success with the whole pool pinned")
 	}
@@ -115,7 +115,7 @@ func TestMakeSpaceDSMUselessColumnsGoFirst(t *testing.T) {
 	// Chunk 2 resident with a column (3) no query reads.
 	f.load(t, 2, storage.Cols(0, 1, 3))
 	trigger := f.register("trigger", rangeOf(6, 10), storage.Cols(0, 1))
-	trigger.blocked = true
+	trigger.SetBlocked(true)
 	uselessKey := partKey{chunk: 2, col: 3}
 	if f.abm.cache.state(uselessKey) != partLoaded {
 		t.Fatal("setup: useless column part not resident")

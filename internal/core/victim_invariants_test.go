@@ -235,16 +235,18 @@ func keyOf(p *part) interface{} {
 // event.
 func TestVictimSelectionMatchesLinearReference(t *testing.T) {
 	for _, columnar := range []bool{false, true} {
-		columnar := columnar
-		t.Run(fmt.Sprintf("columnar=%v", columnar), func(t *testing.T) {
-			for seed := int64(0); seed < 10; seed++ {
-				runVictimCrossCheck(t, columnar, seed)
-			}
-		})
+		for _, version := range []int{1, 2} {
+			columnar, version := columnar, version
+			t.Run(fmt.Sprintf("columnar=%v/v%d", columnar, version), func(t *testing.T) {
+				for seed := int64(0); seed < 10; seed++ {
+					runVictimCrossCheck(t, columnar, version, seed)
+				}
+			})
+		}
 	}
 }
 
-func runVictimCrossCheck(t *testing.T, columnar bool, seed int64) {
+func runVictimCrossCheck(t *testing.T, columnar bool, version int, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed*104729 + 17))
 	numChunks := 8 + rng.Intn(24)
@@ -263,7 +265,10 @@ func runVictimCrossCheck(t *testing.T, columnar bool, seed int64) {
 	} else {
 		buf = layout.ChunkBytes(0, 0) * int64(3+rng.Intn(numChunks/2+1))
 	}
-	a := New(env, d, layout, Config{Policy: Relevance, BufferBytes: buf, DisableLoader: true})
+	a := New(env, d, layout, Config{
+		Policy: Relevance, BufferBytes: buf, DisableLoader: true,
+		DecisionVersion: version,
+	})
 	rs := a.strat.(*relevStrategy)
 
 	randCols := func() storage.ColSet {
@@ -347,7 +352,7 @@ func runVictimCrossCheck(t *testing.T, columnar bool, seed int64) {
 				trigger := queries[rng.Intn(len(queries))]
 				blocked := rng.Intn(2) == 0
 				for _, q := range queries {
-					q.blocked = blocked
+					q.SetBlocked(blocked)
 				}
 				rs.EnsureSpace(a.cache.used()/2+1, trigger)
 			}

@@ -181,6 +181,13 @@ type serverTable struct {
 	// them and scans that still need them fail with ErrChunkUnavailable;
 	// everything else proceeds. Guarded by the server mutex.
 	quarantine map[partID]error
+	// streams maps each registered query to its stream's private condition
+	// variable. Wakes are targeted: a chunk landing wakes exactly the
+	// streams whose queries gained availability (via core's per-query
+	// waker), a quarantine wakes this table's streams, and only shutdown
+	// wakes everyone — so thousands of parked streams no longer stampede
+	// the lock on every load completion. Guarded by the server mutex.
+	streams map[*core.Query]*sync.Cond
 	// o holds the table's pre-resolved metric series and trace-lane
 	// freelist (see internal/engine/obs.go); zero when observability is off.
 	o tableObs
@@ -280,11 +287,21 @@ func (w wallClock) Now() float64 { return time.Since(w.start).Seconds() }
 type Server struct {
 	cfg ServerConfig
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// cond is the scheduler's private condition variable — the scheduler
+	// goroutine is its only waiter, so every wake site uses Signal. Query
+	// streams park on their own per-stream conds (serverTable.streams) and
+	// are woken individually by the ABM's availability waker.
 	cond   *sync.Cond
 	mgr    *core.Manager
 	tables []*serverTable
 	pool   *bufferpool.Pool
+	// regQueue holds stream registrations awaiting the scheduler: streams
+	// append a request, signal the scheduler and park on the request's own
+	// cond; the scheduler drains the whole batch at its loop top under one
+	// arbiter pass, so a thousand streams starting together cost one
+	// rebalance instead of a thundering herd of them.
+	regQueue []*regRequest
 	// staging carries pre-read page contents from the workers' unlocked
 	// file reads into the pool's reader; accessed only under mu.
 	staging map[bufferpool.PageID][]byte
@@ -391,6 +408,7 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 			idx: i, tf: tf, name: name,
 			views:      make(map[partID]*bufferpool.ChunkView),
 			quarantine: make(map[partID]error),
+			streams:    make(map[*core.Query]*sync.Cond),
 		}
 		// Every table starts at its two-chunk floor; the arbiter grants the
 		// rest of the budget by demand as soon as streams register.
@@ -472,20 +490,107 @@ func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
 	return buf, nil
 }
 
-// scheduler is the live ABM decision loop: it keeps the budget arbiter
-// current and up to InFlightDepth loads issued across the tables, then
-// parks until a completion, release or registration changes the world.
+// scheduler is the live ABM decision loop: it drains the registration
+// queue, keeps the budget arbiter current and up to InFlightDepth loads
+// issued across the tables, then parks until a completion, release or
+// registration changes the world.
 func (s *Server) scheduler() {
 	defer close(s.schedDone)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for !s.closed {
+		s.drainRegs()
 		s.maybeRebalance()
 		if s.inFlight < s.cfg.InFlightDepth && s.issueOne() {
 			continue
 		}
 		s.cond.Wait()
 	}
+	// Shutdown: registrations still queued can never be served — fail them
+	// (req.q stays nil) so their streams wake and return ErrClosed.
+	for _, r := range s.regQueue {
+		r.done = true
+		r.w.Signal()
+	}
+	s.regQueue = nil
+}
+
+// regRequest is one stream registration in flight from Scan to the
+// scheduler. The stream parks on w until done; q is nil when the server
+// closed before the registration was served.
+type regRequest struct {
+	t      *serverTable
+	name   string
+	ranges storage.RangeSet
+	cols   storage.ColSet
+	w      *sync.Cond
+	q      *core.Query
+	done   bool
+}
+
+// drainRegs registers every queued stream in one batch under the lock the
+// scheduler already holds: the arbiter then runs once for the batch (from
+// the caller's maybeRebalance) instead of once per stream. Each query's
+// waker is wired to its stream's private cond before the stream can park.
+func (s *Server) drainRegs() {
+	if len(s.regQueue) == 0 {
+		return
+	}
+	regs := s.regQueue
+	s.regQueue = nil
+	for _, r := range regs {
+		q := r.t.abm.NewQuery(r.name, r.ranges, r.cols)
+		r.t.abm.Register(q)
+		r.t.streams[q] = r.w
+		q.SetWaker(r.w.Signal)
+		r.q = q
+		r.done = true
+		r.w.Signal()
+	}
+}
+
+// wakeAllStreams signals every registered stream's cond — the shutdown
+// path's replacement for the old global broadcast. Callers hold mu.
+func (s *Server) wakeAllStreams() {
+	for _, t := range s.tables {
+		for _, w := range t.streams {
+			w.Signal()
+		}
+	}
+}
+
+// AuditTables cross-checks every table ABM's incrementally maintained
+// scheduler structures (counters, demand sums, availability and candidate
+// heaps, victim heap) against a linear recomputation from first principles,
+// under the server lock. It is the soak harness's mid-flight invariant
+// probe; production code never calls it.
+func (s *Server) AuditTables() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tables {
+		if err := t.abm.AuditIncremental(); err != nil {
+			return fmt.Errorf("engine: table %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// AuditDrained checks the quiescent-state invariants once every scan has
+// returned and no load is in flight: no pins or loading parts left behind,
+// no leaked assembly marks, byte accounting intact, and no table over its
+// budget. Like AuditTables it exists for the soak harness.
+func (s *Server) AuditDrained() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tables {
+		if err := t.abm.AuditDrained(); err != nil {
+			return fmt.Errorf("engine: table %s: %w", t.name, err)
+		}
+		if free := t.abm.FreeBytes(); free < 0 {
+			return fmt.Errorf("engine: table %s over budget after drain: free = %d", t.name, free)
+		}
+	}
+	return nil
 }
 
 // maybeRebalance re-runs the budget arbiter when some table's demand (the
@@ -683,7 +788,9 @@ func (s *Server) worker() {
 		job.t.releaseLane(job.lane)
 		s.inFlight--
 		s.o.inflight.Add(-1)
-		s.cond.Broadcast()
+		// A slot freed: only the scheduler cares. Streams interested in the
+		// landed chunk were woken by their queries' wakers in FinishLoad.
+		s.cond.Signal()
 		s.mu.Unlock()
 	}
 }
@@ -751,6 +858,9 @@ func (s *Server) completeLoad(job loadJob) error {
 	}
 	// Commit only the parts this job marked: a sibling in-flight load
 	// of the same chunk's other columns finishes its own parts.
+	// FinishLoad fires the waker of every query that gained availability,
+	// so exactly the interested streams wake; the worker signals the
+	// scheduler when it returns the in-flight slot.
 	fin := job.d
 	fin.Cols = job.marked
 	job.t.abm.FinishLoad(fin)
@@ -761,7 +871,6 @@ func (s *Server) completeLoad(job loadJob) error {
 			job.lane.SpanAt("pin", pinStart, now, obs.Args{"chunk": job.d.Chunk})
 		}
 	}
-	s.cond.Broadcast()
 	return nil
 }
 
@@ -812,7 +921,11 @@ func (s *Server) abortJob(job loadJob, cause error) {
 			}
 		}
 	}
-	s.cond.Broadcast()
+	// Wake this table's streams so scans needing the dead part observe the
+	// quarantine and fail; other tables' streams are unaffected.
+	for _, w := range job.t.streams {
+		w.Signal()
+	}
 }
 
 // quarantineTargets picks the parts to quarantine for a dead load: the
@@ -942,7 +1055,8 @@ func (s *Server) fail(err error) {
 		s.err = err
 	}
 	s.closed = true
-	s.cond.Broadcast()
+	s.cond.Signal()
+	s.wakeAllStreams()
 }
 
 // quarantineError returns the typed failure for the first quarantined part
@@ -989,7 +1103,7 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 }
 
 // ScanContext is Scan under a context: when ctx is cancelled or its
-// deadline passes, the scan — even one parked on the scheduler's condition
+// deadline passes, the scan — even one parked on its stream's condition
 // variable waiting for a chunk that may never load — wakes, unregisters its
 // query, releases nothing it still holds (pins are only held inside a
 // delivery, never across the wait), and returns ctx's error. Cancellation
@@ -1033,21 +1147,29 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 	return st, err
 }
 
-// scanStream is the body of one query stream: it registers the query with
-// the table's ABM and loops pick → pin → deliver → release until the range
-// is consumed, parking on the scheduler's condition variable while blocked.
+// scanStream is the body of one query stream: it queues its registration
+// for the scheduler's batch drain, then loops pick → pin → deliver →
+// release until the range is consumed, parking on its own condition
+// variable while blocked (woken by the query's availability waker).
 func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	// w is this stream's private condition variable: the stream parks on it
+	// (never on the scheduler's cond) and is woken individually — by its
+	// query's availability waker, a quarantine on its table, its context
+	// watcher, or shutdown.
+	w := sync.NewCond(&s.mu)
 	if done := ctx.Done(); done != nil {
-		// Watcher: a context firing must unblock a scan parked in cond.Wait.
+		// Watcher: a context firing must unblock a scan parked in w.Wait.
 		// Skipped entirely for non-cancellable contexts, so the fault-free
-		// fast path (Scan) pays nothing for cancellability.
+		// fast path (Scan) pays nothing for cancellability. Taking mu orders
+		// the signal after the stream's park: the stream holds mu from its
+		// ctx.Err() check until the Wait releases it.
 		stop := make(chan struct{})
 		defer close(stop)
 		go func() {
 			select {
 			case <-done:
 				s.mu.Lock()
-				s.cond.Broadcast()
+				w.Signal()
 				s.mu.Unlock()
 			case <-stop:
 			}
@@ -1068,11 +1190,12 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		track = s.o.tracer.NewTrack("scan " + name + " [" + t.name + "]")
 	}
 	var useful int64
-	// waitStart is nonzero while a traced blocked period is open. Broadcasts
-	// fire on every pin/release/completion, so a blocked stream wakes many
-	// times per chunk that actually becomes available; consecutive blocked
-	// loop iterations coalesce into ONE wait span, closed when the stream
-	// unblocks (or exits).
+	// waitStart is nonzero while a traced blocked period is open. The waker
+	// fires on every availability gain, which the policy's picker may still
+	// decline (e.g. the sequential cursor wants a specific chunk), so a
+	// blocked stream can wake more than once per delivered chunk;
+	// consecutive blocked loop iterations coalesce into ONE wait span,
+	// closed when the stream unblocks (or exits).
 	var waitStart time.Time
 	closeWait := func() {
 		if !waitStart.IsZero() {
@@ -1092,12 +1215,30 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		}
 		return core.Stats{}, err
 	}
-	q := t.abm.NewQuery(name, ranges, cols)
-	t.abm.Register(q)
-	s.cond.Broadcast()
+	// Queue the registration for the scheduler and park until it is served:
+	// the scheduler drains the whole queue in one batch (one arbiter pass
+	// for any number of simultaneous arrivals) and wires the query's waker
+	// to w before this stream can ever block on availability.
+	req := &regRequest{t: t, name: name, ranges: ranges, cols: cols, w: w}
+	s.regQueue = append(s.regQueue, req)
+	s.cond.Signal()
+	for !req.done {
+		w.Wait()
+	}
+	if req.q == nil {
+		// The server closed before the registration was served.
+		err := s.err
+		s.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return core.Stats{}, err
+	}
+	q := req.q
 	for !q.Finished() {
 		if s.closed {
 			closeWait()
+			delete(t.streams, q)
 			st := t.abm.Finish(q)
 			err := s.err
 			s.mu.Unlock()
@@ -1109,20 +1250,22 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			closeWait()
+			delete(t.streams, q)
 			st := t.abm.Finish(q)
 			s.faults.CancelledScans++
 			s.o.cancelledScans.Inc()
-			s.cond.Broadcast()
+			s.cond.Signal()
 			s.mu.Unlock()
 			st.BytesUseful = useful
 			return st, fmt.Errorf("engine: scan %q: %w", name, cerr)
 		}
 		if qerr := s.quarantineError(t, q); qerr != nil {
 			closeWait()
+			delete(t.streams, q)
 			st := t.abm.Finish(q)
 			s.faults.FailedScans++
 			s.o.failedScans.Inc()
-			s.cond.Broadcast()
+			s.cond.Signal()
 			s.mu.Unlock()
 			st.BytesUseful = useful
 			return st, qerr
@@ -1131,13 +1274,15 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		if c < 0 {
 			// The blocked flag must be visible to the scheduler before it
 			// re-evaluates eviction (the relevance relaxation passes fire
-			// only when every registered query is blocked), so wake it.
+			// only when every registered query is blocked), so wake it —
+			// then park on the stream's own cond until the query's waker
+			// (or a quarantine, cancellation or shutdown) fires.
 			q.SetBlocked(true)
-			s.cond.Broadcast()
+			s.cond.Signal()
 			if s.o.tracer != nil && waitStart.IsZero() {
 				waitStart = time.Now()
 			}
-			s.cond.Wait()
+			w.Wait()
 			q.SetBlocked(false)
 			continue
 		}
@@ -1150,7 +1295,7 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		// The pin lifts the chunk's fresh-load eviction protection: wake a
 		// scheduler parked on a failed EnsureSpace so the next load
 		// overlaps with this chunk's processing.
-		s.cond.Broadcast()
+		s.cond.Signal()
 		tuples := t.tf.Layout().ChunkTuples(c)
 		var data ChunkData
 		if dsm {
@@ -1181,10 +1326,14 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 		}
 		s.mu.Lock()
 		t.abm.Release(q, c)
-		s.cond.Broadcast()
+		// The release unpins the chunk: a scheduler parked on a failed
+		// EnsureSpace may now find a victim. Availability of other streams
+		// only shrinks here, so no stream wake is needed.
+		s.cond.Signal()
 	}
+	delete(t.streams, q)
 	st := t.abm.Finish(q)
-	s.cond.Broadcast()
+	s.cond.Signal()
 	s.mu.Unlock()
 	st.BytesUseful = useful
 	return st, nil
@@ -1271,7 +1420,8 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
-		s.cond.Broadcast()
+		s.cond.Signal()
+		s.wakeAllStreams()
 		s.mu.Unlock()
 		<-s.schedDone
 		close(s.loadCh)

@@ -1,0 +1,65 @@
+// TestSchedScalingGuard is the regression fence around the PR-4 flat
+// scheduler: it re-measures the simulator's q64 and q512 decision costs in
+// one process and fails if q512 regresses more than 2× against the
+// BENCH_PR4 baseline. The guard compares the q512/q64 *ratio* rather than
+// absolute nanoseconds — q64 measured in the same process is the
+// machine-speed proxy, so the test is meaningful on a noisy CI box where
+// the recorded 110.9 ns/decision itself is not. BENCH_PR4.json recorded
+// q64 = 167.3 and q512 = 110.9 sched-ns/decision (ratio 0.663, i.e. the
+// heap-based paths keep per-decision cost flat as queries grow 8×); a
+// reintroduced linear walk makes q512 scale with the query count and blows
+// straight through the 2× fence.
+package coopscan_test
+
+import (
+	"testing"
+
+	"coopscan/internal/experiments"
+)
+
+// The BENCH_PR4.json flat baseline: sched-ns/decision at q64 (unbatched
+// stream shape, comparable to PR 1–3) and q512 (StreamBatch 16).
+const (
+	baselineQ64PerDecision  = 167.3
+	baselineQ512PerDecision = 110.9
+)
+
+func TestSchedScalingGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling-cost guard needs real measurement; skipped in -short")
+	}
+	quick := experiments.QuickSchedScaling()
+
+	measure := func(queries, batch int) float64 {
+		opts := quick
+		opts.Queries = []int{queries}
+		opts.StreamBatch = batch
+		// Best of three runs: per-decision cost is a mean over ~25k–58k
+		// decisions already, but a GC pause or scheduler hiccup on a busy
+		// box can still inflate a single run.
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r := experiments.SchedScaling(opts)
+			pd := r.Points[len(r.Points)-1].PerDecision
+			if pd <= 0 {
+				t.Fatalf("q%d: no decisions measured", queries)
+			}
+			if best == 0 || pd < best {
+				best = pd
+			}
+		}
+		return best
+	}
+
+	q64 := measure(64, 1)
+	q512 := measure(512, 16)
+	t.Logf("q64 = %.1f ns/decision, q512 = %.1f ns/decision (baseline %.1f / %.1f)",
+		q64, q512, baselineQ64PerDecision, baselineQ512PerDecision)
+
+	ratio := q512 / q64
+	baseline := baselineQ512PerDecision / baselineQ64PerDecision
+	if ratio > 2*baseline {
+		t.Fatalf("q512 sched-ns/decision regressed: q512/q64 = %.3f, baseline %.3f, limit %.3f (2×) — a per-decision linear path is back",
+			ratio, baseline, 2*baseline)
+	}
+}
