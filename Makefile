@@ -25,7 +25,7 @@ BENCHTIME ?= 3x
 BENCH_OUT ?= BENCH_PR8.json
 SEEDS     ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test test-race vet fmt-check soak soak-rand bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-scale bench-json
+.PHONY: build test test-race test-serve vet fmt-check soak soak-rand bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-scale bench-json
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,16 @@ test: build
 # the bufferpool substrate it pins chunks through, and the core arbiter
 # state they drive) must stay race-clean.
 test-race:
-	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/... ./internal/obs/... ./internal/soak/...
+	$(GO) test -race ./internal/engine/... ./internal/bufferpool/... ./internal/core/... ./internal/obs/... ./internal/soak/... ./internal/serve/...
+
+# The HTTP/2 serving front-end (PR 9, internal/serve) under the race
+# detector: exact-bounded overload admission, the 1000-client disconnect
+# storm with its goroutine-baseline check, queued/mid-scan deadline expiry,
+# graceful drain, admin attach/detach, the metrics exposition golden, and
+# the serve-level randomized soak (see docs/SERVING.md).
+test-serve:
+	$(GO) test -race -count=1 -v ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestSoakRand/serve' -v ./internal/soak/
 
 vet:
 	$(GO) vet ./...

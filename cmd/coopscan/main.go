@@ -16,6 +16,13 @@
 //	coopscan live -policy relevance -streams 16 -buffer-mb 32
 //	coopscan multi                 # 2 tables × 8 streams, shared budget
 //	coopscan multi -tables 3 -inflight 8 -buffer-mb 48
+//
+// The serve subcommand exposes the engine over an HTTP/2 chunked-streaming
+// front-end with admission control, SLO tiers, deadlines and graceful
+// drain; scan is its minimal NDJSON client:
+//
+//	coopscan serve -max-live 32 -policy relevance
+//	coopscan scan -table 'lineitem-live#0' -q6 -tier interactive
 package main
 
 import (
@@ -81,6 +88,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "multi" {
 		runMulti(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scan" {
+		runScanClient(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")

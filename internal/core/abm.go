@@ -466,6 +466,7 @@ func (a *ABM) NewQuery(name string, ranges storage.RangeSet, cols storage.ColSet
 		availPos: make([]int, a.layout.NumChunks()),
 		chunkPos: make([]int, a.layout.NumChunks()),
 		cursor:   ranges.Min(),
+		weight:   1,
 	}
 	for c := range q.availPos {
 		q.availPos[c] = -1
@@ -790,7 +791,7 @@ func (a *ABM) addLoadCand(q *Query) {
 func (a *ABM) candKeyOf(q *Query) float64 {
 	var k float64
 	if !a.cfg.NoShortQueryPriority {
-		k += float64(q.remaining()) * a.chunkCost * float64(len(a.queries))
+		k += float64(q.remaining()) * a.chunkCost * float64(len(a.queries)) / q.weight
 	}
 	if !a.cfg.NoWaitPromotion {
 		k += q.lastService

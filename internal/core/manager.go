@@ -258,7 +258,18 @@ func (m *Manager) Rebalance(total int64) []int64 {
 	if excess > 0 && headroom > 0 {
 		for i := range grants {
 			if h := grants[i] - maxI64(used[i], floors[i]); h > 0 {
-				grants[i] -= excess * h / headroom
+				// When excess exceeds headroom (heavy usage against a tight
+				// budget, e.g. an attach mid-traffic), the proportional cut
+				// would push the grant below usage/floor; cap it there. The
+				// granted total then transiently exceeds the budget — the
+				// same drain-to-converge state the no-shrink rule already
+				// creates — rather than handing a table less than it can
+				// operate with.
+				cut := excess * h / headroom
+				if cut > h {
+					cut = h
+				}
+				grants[i] -= cut
 			}
 		}
 	}

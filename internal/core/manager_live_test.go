@@ -123,6 +123,42 @@ func TestLiveManagerRebalanceNeverShrinksBelowUsage(t *testing.T) {
 	}
 }
 
+// When one table's pinned usage exceeds the others' headroom (a tight
+// budget with an attach mid-traffic is the real-world trigger, found by
+// the serve-level soak), charging the overage proportionally must not cut
+// a grant below its usage/floor — an uncapped cut used to hand a table a
+// negative or sub-page budget and panic bufcache.resize.
+func TestLiveManagerRebalanceOverageNeverCutsBelowFloor(t *testing.T) {
+	m := NewLiveManager(&liveClock{}, Config{Policy: Relevance})
+	names := []string{"a", "b", "c"}
+	abms := make([]*ABM, len(names))
+	for i, name := range names {
+		l := nsmTestLayout(16)
+		l.Table().Name = name
+		abms[i] = m.Attach(l, 2<<20)
+	}
+	floor := chunkFloorBytes(abms[0].layout) // 2 MiB
+
+	// Park 6 MiB of reservations on table a; give b all the demand. With a
+	// 7 MiB budget the floors alone take 6 MiB, so a's 4 MiB overage dwarfs
+	// b's 1 MiB of headroom.
+	abms[0].SetBufferBytes(6 << 20)
+	for c := 0; c < 6; c++ {
+		abms[0].BeginLoad(LoadDecision{Chunk: c})
+	}
+	registerFullScan(abms[1], "bq")
+
+	grants := m.Rebalance(7 << 20)
+	if grants[0] != 6<<20 {
+		t.Errorf("over-used table granted %d, want its usage %d", grants[0], int64(6<<20))
+	}
+	for i := 1; i < len(grants); i++ {
+		if grants[i] < floor {
+			t.Errorf("table %s granted %d, below the %d floor", names[i], grants[i], floor)
+		}
+	}
+}
+
 // A demand-less table over a shrunk budget must be drainable: with no
 // queries it never loads, so nothing else would run its eviction paths,
 // and the Rebalance usage clamp would strand the bytes forever (the live

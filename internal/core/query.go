@@ -73,6 +73,14 @@ type Query struct {
 	// broadcasting to every parked goroutine.
 	waker func()
 
+	// weight scales the relevance policy's short-query-priority term: the
+	// remaining-work penalty is divided by it, so a weight-w query is ranked
+	// as if it had remaining/w chunks left. SLO tiers set it (>1 for
+	// interactive traffic); the default 1 is exact float identity with the
+	// unweighted formula, and because the division touches only the
+	// remaining term, the v2 candidate key stays a time-free transform.
+	weight float64
+
 	enterTime   float64
 	doneTime    float64
 	lastService float64 // last time a chunk was delivered (for aging)
@@ -151,6 +159,25 @@ func (q *Query) SetBlocked(b bool) {
 		}
 	}
 }
+
+// SetWeight sets the query's starvation weight (SLO tier priority): the
+// relevance policy divides the query's remaining-work penalty by w, so
+// higher-weight queries are serviced as if they were shorter. Must be called
+// before Register (the candidate heap is keyed at registration); w must be
+// positive. Weight 1 (the default) reproduces the unweighted paper formula
+// exactly.
+func (q *Query) SetWeight(w float64) {
+	if !(w > 0) {
+		panic(fmt.Sprintf("core: query %q weight %v must be positive", q.Name, w))
+	}
+	if q.abm != nil {
+		panic(fmt.Sprintf("core: SetWeight on registered query %q", q.Name))
+	}
+	q.weight = w
+}
+
+// Weight returns the query's starvation weight.
+func (q *Query) Weight() float64 { return q.weight }
 
 // SetWaker installs the live engine's per-stream wake callback, invoked
 // (under the engine's lock) whenever the query gains an available chunk.

@@ -363,12 +363,14 @@ func (s *relevStrategy) nextLoadV2() (LoadDecision, bool) {
 // queryRelevance prioritises starved queries that need little more data,
 // promoting those that have waited long so large scans cannot starve
 // forever (Figure 3). Waiting time is normalised by the cost of one chunk
-// load and by the number of running queries.
+// load and by the number of running queries. The remaining-work penalty is
+// divided by the query's SLO weight, so a weight-w query ranks as if it had
+// remaining/w chunks left; weight 1 is the exact paper formula.
 func (s *relevStrategy) queryRelevance(q *Query) float64 {
 	a := s.a
 	rel := 0.0
 	if !a.cfg.NoShortQueryPriority {
-		rel -= float64(q.remaining())
+		rel -= float64(q.remaining()) / q.weight
 	}
 	if !a.cfg.NoWaitPromotion {
 		wait := (a.clock.Now() - q.lastService) / a.chunkCost

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+
+	"coopscan/internal/obs"
+)
+
+// Attach adds a table file to the running server under the given
+// registration name and returns its slot. The table joins the shared budget
+// immediately: its ABM is granted the two-chunk floor and the arbiter
+// rebalances, so scans can target the slot as soon as Attach returns. The
+// file remains owned by the caller (it is not closed by Close or
+// DetachTable).
+//
+// Attach fails typed: ErrClosed after shutdown, ErrTableExists when the
+// name serves a live table (or one still draining out of DetachTable), and
+// ErrAttachIncompatible when the table cannot run under this server — a
+// page smaller than the frame size the shared pool was built for (the pool
+// cannot grow; a smaller page would let the byte budget outrun the frame
+// budget, and bufferpool.ErrNoFrame is fatal), or a buffer budget that no
+// longer covers the two-chunk floor of every attached table.
+func (s *Server) Attach(name string, tf *TableFile) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty table name", ErrAttachIncompatible)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return 0, s.err
+		}
+		return 0, ErrClosed
+	}
+	if _, ok := s.names[name]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	if _, draining := s.mgr.For(name); draining {
+		return 0, fmt.Errorf("%w: %q is still draining", ErrTableExists, name)
+	}
+	for j := 0; j < NumCols; j++ {
+		if sz := tf.ColStripeBytes(j); sz < s.minPage {
+			return 0, fmt.Errorf("%w: %q page %d bytes < pool frame %d", ErrAttachIncompatible, name, sz, s.minPage)
+		}
+	}
+	floor := 2 * tf.ChunkBytes()
+	for _, t := range s.tables {
+		if !t.detached {
+			floor += 2 * t.tf.ChunkBytes()
+		}
+	}
+	if s.cfg.BufferBytes < floor {
+		return 0, fmt.Errorf("%w: buffer %d bytes < two chunks per table (%d) with %q attached",
+			ErrAttachIncompatible, s.cfg.BufferBytes, floor, name)
+	}
+	idx := len(s.tables)
+	t := s.newTable(idx, name, tf)
+	s.tables = append(s.tables, t)
+	s.names[name] = idx
+	s.addStripeSizes(tf)
+	s.mgr.Rebalance(s.cfg.BufferBytes)
+	if s.o.tracer != nil {
+		s.o.schedTrack.Instant("attach", obs.Args{"table": name, "slot": idx})
+	}
+	s.cond.Signal()
+	return idx, nil
+}
+
+// DetachTable removes the named table from the running server and blocks
+// until its drain completes: the name is freed immediately, queued and
+// future registrations against it fail with ErrTableDetached, parked
+// streams wake and return the same typed error, the scheduler stops
+// issuing its loads, and — once its last in-flight load lands and its last
+// stream unregisters — the scheduler finalises the slot (releases the
+// pinned views, clears the quarantine state, returns the grant to the
+// arbiter and shuts the ABM down). The slot stays behind as a tombstone;
+// the freed budget is rebalanced to the remaining tables. Returns
+// ErrUnknownTable for a name not live, ErrClosed if the server shuts down
+// before the drain completes.
+func (s *Server) DetachTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return s.err
+		}
+		return ErrClosed
+	}
+	i, ok := s.names[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	t := s.tables[i]
+	t.detaching = true
+	delete(s.names, name)
+	// Wake this table's parked streams so they observe the detach and
+	// unregister; wake the scheduler so it fails queued registrations and
+	// finalises once the table quiesces.
+	for _, w := range t.streams {
+		w.Signal()
+	}
+	s.cond.Signal()
+	for !t.detached && !s.closed {
+		s.detachCond.Wait()
+	}
+	if !t.detached {
+		if s.err != nil {
+			return s.err
+		}
+		return ErrClosed
+	}
+	return nil
+}
+
+// finalizeDetaches retires every detaching table that has quiesced — no
+// in-flight loads, no registered streams (queued registrations were failed
+// by the drainRegs call preceding this one). Finalisation releases the
+// table's pinned part views (the frames become ordinary LRU victims),
+// clears its quarantine map, detaches the ABM from the budget arbiter
+// (which shuts it down) and rebalances the freed grant to the remaining
+// tables. Runs in the scheduler loop under mu.
+func (s *Server) finalizeDetaches() {
+	for _, t := range s.tables {
+		if !t.detaching || t.detached || t.inflight > 0 || len(t.streams) > 0 {
+			continue
+		}
+		for k, v := range t.views {
+			v.Release()
+			delete(t.views, k)
+		}
+		for k := range t.quarantine {
+			delete(t.quarantine, k)
+		}
+		s.mgr.Detach(t.name)
+		t.detached = true
+		s.mgr.Rebalance(s.cfg.BufferBytes)
+		if s.o.tracer != nil {
+			s.o.schedTrack.Instant("detach", obs.Args{"table": t.name, "slot": t.idx})
+		}
+		s.detachCond.Broadcast()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coopscan/internal/bufferpool"
@@ -40,6 +41,23 @@ var (
 	// ErrInvalidColumns: the column set is empty or names columns the table
 	// does not store.
 	ErrInvalidColumns = errors.New("engine: invalid column set")
+	// ErrInvalidWeight: the scan's SLO weight is negative.
+	ErrInvalidWeight = errors.New("engine: invalid scan weight")
+)
+
+// Runtime attach/detach errors; test with errors.Is.
+var (
+	// ErrTableDetached: the scan names a table that was detached from the
+	// running server, or the table was detaching while the scan ran.
+	ErrTableDetached = errors.New("engine: table detached")
+	// ErrTableExists: Attach under a name already serving a live table (or
+	// one still draining out of a DetachTable in progress).
+	ErrTableExists = errors.New("engine: table already attached")
+	// ErrAttachIncompatible: the table cannot run under this server — its
+	// pages are smaller than the frame size the shared pool was built for,
+	// or the buffer budget cannot cover the two-chunk floor of every
+	// attached table plus this one.
+	ErrAttachIncompatible = errors.New("engine: table incompatible with server")
 )
 
 // pageStride namespaces buffer-pool PageIDs per table: table t's page p
@@ -113,6 +131,11 @@ const (
 	defaultInFlightDepth = 4
 	defaultLoadRetries   = 4
 	defaultRetryBackoff  = time.Millisecond
+	// attachFrameSlack reserves pool frames for the integer-rounding
+	// crumbs of tables attached at runtime (construction sizes one crumb
+	// per initial table; Attach cannot grow the pool, so the headroom is
+	// banked up front).
+	attachFrameSlack = 16
 )
 
 // TableStats is one table's share of a server's counters.
@@ -191,6 +214,19 @@ type serverTable struct {
 	// o holds the table's pre-resolved metric series and trace-lane
 	// freelist (see internal/engine/obs.go); zero when observability is off.
 	o tableObs
+	// inflight counts this table's issued-but-uncommitted loads; a
+	// detaching table is finalised only once it reaches zero. Guarded by
+	// the server mutex.
+	inflight int
+	// detaching is set by DetachTable: the scheduler stops issuing the
+	// table's loads, queued and future registrations fail with
+	// ErrTableDetached, and parked streams wake to observe it. detached is
+	// set when the scheduler finalises the quiesced table (views released,
+	// quarantine cleared, grant returned to the arbiter, ABM shut down);
+	// the slot then stays behind as a tombstone — table indexes are never
+	// reused, so per-table pool page namespaces stay disjoint for the
+	// server's lifetime.
+	detaching, detached bool
 }
 
 // partPages returns the global pool-page run backing one part.
@@ -295,7 +331,21 @@ type Server struct {
 	cond   *sync.Cond
 	mgr    *core.Manager
 	tables []*serverTable
-	pool   *bufferpool.Pool
+	// names maps each live table's registration name to its slot in
+	// tables. DetachTable removes the name as soon as the detach begins;
+	// detached slots stay in tables as tombstones but are unreachable by
+	// name, so a detached name can be reattached (to a fresh slot) once
+	// its drain completes. Guarded by mu.
+	names map[string]int
+	// detachCond wakes DetachTable callers when the scheduler finalises a
+	// quiesced detach, and on shutdown so no caller waits on a dead
+	// scheduler.
+	detachCond *sync.Cond
+	// minPage is the page size the pool's frame capacity was computed
+	// from; Attach rejects tables with smaller pages, which could need
+	// more frames than the pool owns (bufferpool.ErrNoFrame is fatal).
+	minPage int64
+	pool    *bufferpool.Pool
 	// regQueue holds stream registrations awaiting the scheduler: streams
 	// append a request, signal the scheduler and park on the request's own
 	// cond; the scheduler drains the whole batch at its loop top under one
@@ -344,8 +394,10 @@ type Server struct {
 	// nothing, which matters on the multi-table bench where stripe churn
 	// is hundreds of MiB per run. Coalesced multi-page reads allocate one
 	// slab and sub-slice it; the sub-slices recycle like any other page
-	// buffer of their size.
-	stripeBufs map[int64]*sync.Pool
+	// buffer of their size. Workers read the map without the server lock,
+	// so a runtime Attach introducing a new page size publishes a fresh
+	// copy through the atomic pointer instead of mutating in place.
+	stripeBufs atomic.Pointer[map[int64]*sync.Pool]
 
 	// loadHook, when set (tests only), runs in a worker goroutine between
 	// the unlocked read and the locked completion of every load — the seam
@@ -386,13 +438,16 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
+		names:     make(map[string]int),
 		staging:   make(map[bufferpool.PageID][]byte),
 		jitter:    rand.New(rand.NewSource(1)),
 		loadCh:    make(chan loadJob, cfg.InFlightDepth),
 		schedDone: make(chan struct{}),
 		start:     time.Now(),
+		minPage:   minPage,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.detachCond = sync.NewCond(&s.mu)
 	s.o = newServerObs(cfg.Obs, cfg.Trace)
 	s.mgr = core.NewLiveManager(wallClock{start: s.start}, core.Config{
 		Policy:            cfg.Policy,
@@ -402,61 +457,24 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 		MeasureScheduling: cfg.MeasureScheduling,
 	})
 	s.mgr.SetMetrics(managerMetrics(cfg.Obs))
+	empty := make(map[int64]*sync.Pool)
+	s.stripeBufs.Store(&empty)
 	for i, tf := range tfs {
 		name := fmt.Sprintf("%s#%d", tf.Layout().Table().Name, i)
-		t := &serverTable{
-			idx: i, tf: tf, name: name,
-			views:      make(map[partID]*bufferpool.ChunkView),
-			quarantine: make(map[partID]error),
-			streams:    make(map[*core.Query]*sync.Cond),
-		}
-		// Every table starts at its two-chunk floor; the arbiter grants the
-		// rest of the budget by demand as soon as streams register.
-		t.abm = s.mgr.AttachAs(name, tf.Layout(), 2*tf.ChunkBytes())
-		// Normalise relevance waiting time by a ~1 GB/s chunk load.
-		t.abm.SetChunkCost(float64(tf.ChunkBytes()) / 1e9)
-		t.pol = t.abm.Policy()
-		t.abm.SetEvictHook(func(chunk, col int) {
-			// The ABM evicted one part — an NSM chunk (col -1) or a DSM
-			// column part: release its pinned page range so the shared pool
-			// may reuse the frames. Sibling columns of the same chunk keep
-			// their own views. Runs under mu, from an EnsureSpace inside
-			// the scheduler.
-			k := partID{chunk: chunk, col: col}
-			if v := t.views[k]; v != nil {
-				v.Release()
-				delete(t.views, k)
-			}
-			if s.o.tracer != nil {
-				s.o.schedTrack.Instant("evict", obs.Args{"table": t.name, "chunk": chunk, "col": col})
-			}
-		})
-		t.o.sched = s.o.schedSeconds.With(name, cfg.Policy.String())
-		t.o.scan = s.o.scanSeconds.With(name, cfg.Policy.String())
-		t.o.useful = s.o.usefulBytes.With(name)
-		s.tables = append(s.tables, t)
+		s.tables = append(s.tables, s.newTable(i, name, tf))
+		s.names[name] = i
+		s.addStripeSizes(tf)
 	}
 	s.mgr.Rebalance(cfg.BufferBytes)
 	// The shared pool is sized for the whole budget (in frames of the
 	// smallest page), plus slack for the arbiter's integer-rounding
-	// crumbs and the in-flight loads' staging turnover.
-	frames := int(cfg.BufferBytes/minPage) + cfg.InFlightDepth*NumCols + len(tfs)
+	// crumbs (one per table, plus headroom for runtime attaches) and the
+	// in-flight loads' staging turnover.
+	frames := int(cfg.BufferBytes/minPage) + cfg.InFlightDepth*NumCols + len(tfs) + attachFrameSlack
 	s.pool = bufferpool.New(frames, bufferpool.LRU, s.readPage)
 	s.pool.SetMetrics(poolMetrics(cfg.Obs))
-	s.stripeBufs = make(map[int64]*sync.Pool)
-	for _, tf := range tfs {
-		for j := 0; j < NumCols; j++ {
-			size := tf.ColStripeBytes(j)
-			if _, ok := s.stripeBufs[size]; !ok {
-				s.stripeBufs[size] = &sync.Pool{New: func() any {
-					s.o.recycleAllocs.Inc()
-					return make([]byte, size)
-				}}
-			}
-		}
-	}
 	s.pool.SetEvictObserver(func(_ bufferpool.PageID, data []byte) {
-		if p, ok := s.stripeBufs[int64(len(data))]; ok {
+		if p := s.bufPool(int64(len(data))); p != nil {
 			p.Put(data)
 		}
 	})
@@ -466,6 +484,79 @@ func NewServer(cfg ServerConfig, tfs ...*TableFile) (*Server, error) {
 	}
 	go s.scheduler()
 	return s, nil
+}
+
+// newTable builds one attached table's runtime state and registers its ABM
+// with the budget arbiter at the two-chunk floor (the arbiter grants the
+// rest of the budget by demand as soon as streams register). Shared by
+// construction and runtime Attach; callers of the latter hold mu.
+func (s *Server) newTable(idx int, name string, tf *TableFile) *serverTable {
+	t := &serverTable{
+		idx: idx, tf: tf, name: name,
+		views:      make(map[partID]*bufferpool.ChunkView),
+		quarantine: make(map[partID]error),
+		streams:    make(map[*core.Query]*sync.Cond),
+	}
+	t.abm = s.mgr.AttachAs(name, tf.Layout(), 2*tf.ChunkBytes())
+	// Normalise relevance waiting time by a ~1 GB/s chunk load.
+	t.abm.SetChunkCost(float64(tf.ChunkBytes()) / 1e9)
+	t.pol = t.abm.Policy()
+	t.abm.SetEvictHook(func(chunk, col int) {
+		// The ABM evicted one part — an NSM chunk (col -1) or a DSM
+		// column part: release its pinned page range so the shared pool
+		// may reuse the frames. Sibling columns of the same chunk keep
+		// their own views. Runs under mu, from an EnsureSpace inside
+		// the scheduler.
+		k := partID{chunk: chunk, col: col}
+		if v := t.views[k]; v != nil {
+			v.Release()
+			delete(t.views, k)
+		}
+		if s.o.tracer != nil {
+			s.o.schedTrack.Instant("evict", obs.Args{"table": t.name, "chunk": chunk, "col": col})
+		}
+	})
+	t.o.sched = s.o.schedSeconds.With(name, s.cfg.Policy.String())
+	t.o.scan = s.o.scanSeconds.With(name, s.cfg.Policy.String())
+	t.o.useful = s.o.usefulBytes.With(name)
+	return t
+}
+
+// bufPool returns the recycle pool for page buffers of the given size, or
+// nil if no attached table uses it. Safe without the server lock: the map
+// behind the atomic pointer is never mutated after publication.
+func (s *Server) bufPool(size int64) *sync.Pool {
+	return (*s.stripeBufs.Load())[size]
+}
+
+// addStripeSizes publishes recycle pools for any of tf's page sizes not yet
+// registered, copy-on-write so unlocked workers keep reading a consistent
+// map. Callers hold mu (which serialises writers).
+func (s *Server) addStripeSizes(tf *TableFile) {
+	old := *s.stripeBufs.Load()
+	var fresh map[int64]*sync.Pool
+	for j := 0; j < NumCols; j++ {
+		size := tf.ColStripeBytes(j)
+		if _, ok := old[size]; ok {
+			continue
+		}
+		if fresh == nil {
+			fresh = make(map[int64]*sync.Pool, len(old)+NumCols)
+			for k, v := range old {
+				fresh[k] = v
+			}
+		}
+		if _, ok := fresh[size]; ok {
+			continue
+		}
+		fresh[size] = &sync.Pool{New: func() any {
+			s.o.recycleAllocs.Inc()
+			return make([]byte, size)
+		}}
+	}
+	if fresh != nil {
+		s.stripeBufs.Store(&fresh)
+	}
 }
 
 // readPage is the shared pool's miss handler. Workers pre-read cold pages
@@ -482,9 +573,9 @@ func (s *Server) readPage(id bufferpool.PageID) ([]byte, error) {
 	t := s.tables[int(int64(id)/pageStride)]
 	local := int64(id) % pageStride
 	s.o.recycleGets.Inc()
-	buf := s.stripeBufs[t.tf.PageBytes(local)].Get().([]byte)
+	buf := s.bufPool(t.tf.PageBytes(local)).Get().([]byte)
 	if err := t.tf.ReadPage(local, buf); err != nil {
-		s.stripeBufs[int64(len(buf))].Put(buf)
+		s.bufPool(int64(len(buf))).Put(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -500,6 +591,7 @@ func (s *Server) scheduler() {
 	defer s.mu.Unlock()
 	for !s.closed {
 		s.drainRegs()
+		s.finalizeDetaches()
 		s.maybeRebalance()
 		if s.inFlight < s.cfg.InFlightDepth && s.issueOne() {
 			continue
@@ -517,14 +609,17 @@ func (s *Server) scheduler() {
 
 // regRequest is one stream registration in flight from Scan to the
 // scheduler. The stream parks on w until done; q is nil when the server
-// closed before the registration was served.
+// closed (err nil) or the table detached (err set) before the registration
+// was served.
 type regRequest struct {
 	t      *serverTable
 	name   string
 	ranges storage.RangeSet
 	cols   storage.ColSet
+	weight float64
 	w      *sync.Cond
 	q      *core.Query
+	err    error
 	done   bool
 }
 
@@ -539,7 +634,16 @@ func (s *Server) drainRegs() {
 	regs := s.regQueue
 	s.regQueue = nil
 	for _, r := range regs {
+		if r.t.detaching || r.t.detached {
+			r.err = fmt.Errorf("engine: scan %q: %w: table %s", r.name, ErrTableDetached, r.t.name)
+			r.done = true
+			r.w.Signal()
+			continue
+		}
 		q := r.t.abm.NewQuery(r.name, r.ranges, r.cols)
+		if r.weight > 0 && r.weight != 1 {
+			q.SetWeight(r.weight)
+		}
 		r.t.abm.Register(q)
 		r.t.streams[q] = r.w
 		q.SetWaker(r.w.Signal)
@@ -568,6 +672,9 @@ func (s *Server) AuditTables() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range s.tables {
+		if t.detached {
+			continue
+		}
 		if err := t.abm.AuditIncremental(); err != nil {
 			return fmt.Errorf("engine: table %s: %w", t.name, err)
 		}
@@ -583,6 +690,14 @@ func (s *Server) AuditDrained() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range s.tables {
+		if t.detached {
+			// A tombstoned slot must hold no pinned views (finalisation
+			// released them) — a leak here would strand pool frames forever.
+			if len(t.views) != 0 {
+				return fmt.Errorf("engine: detached table %s still holds %d views", t.name, len(t.views))
+			}
+			continue
+		}
 		if err := t.abm.AuditDrained(); err != nil {
 			return fmt.Errorf("engine: table %s: %w", t.name, err)
 		}
@@ -606,6 +721,10 @@ func (s *Server) maybeRebalance() {
 	}
 	draining := false
 	for i, t := range s.tables {
+		if t.detached {
+			s.demand[i] = 0
+			continue
+		}
 		if w := t.abm.DemandBytes(); demandShifted(s.demand[i], w) {
 			s.demand[i] = w
 			changed = true
@@ -657,6 +776,9 @@ func (s *Server) issueOne() bool {
 	for off := 0; off < n; off++ {
 		i := (s.rr + off) % n
 		t := s.tables[i]
+		if t.detaching || t.detached {
+			continue
+		}
 		var decStart time.Time
 		if s.o.enabled {
 			decStart = time.Now()
@@ -700,6 +822,7 @@ func (s *Server) issueOne() bool {
 			}
 		})
 		s.inFlight++
+		t.inflight++
 		s.o.inflight.Add(1)
 		s.rr = (i + 1) % n
 		job := loadJob{t: t, d: d, marked: marked, missing: missing}
@@ -787,6 +910,7 @@ func (s *Server) worker() {
 		}
 		job.t.releaseLane(job.lane)
 		s.inFlight--
+		job.t.inflight--
 		s.o.inflight.Add(-1)
 		// A slot freed: only the scheduler cares. Streams interested in the
 		// landed chunk were woken by their queries' wakers in FinishLoad.
@@ -899,7 +1023,7 @@ func (s *Server) abortJob(job loadJob, cause error) {
 		for id := first; id < first+bufferpool.PageID(count); id++ {
 			if b, ok := s.staging[id]; ok {
 				delete(s.staging, id)
-				if p, ok := s.stripeBufs[int64(len(b))]; ok {
+				if p := s.bufPool(int64(len(b))); p != nil {
 					p.Put(b)
 				}
 			}
@@ -1014,7 +1138,7 @@ func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[buffer
 	if len(run) == 1 {
 		total = t.tf.PageBytes(first)
 		s.o.recycleGets.Inc()
-		buf := s.stripeBufs[total].Get().([]byte)
+		buf := s.bufPool(total).Get().([]byte)
 		if err := t.tf.readPageRange(first, 1, buf, verify); err != nil {
 			return fmt.Errorf("engine: read %s page %d: %w", t.name, first, err)
 		}
@@ -1056,6 +1180,7 @@ func (s *Server) fail(err error) {
 	}
 	s.closed = true
 	s.cond.Signal()
+	s.detachCond.Broadcast()
 	s.wakeAllStreams()
 }
 
@@ -1082,11 +1207,37 @@ func (s *Server) quarantineError(t *serverTable, q *core.Query) error {
 	return nil
 }
 
-// NumTables returns the number of attached tables.
-func (s *Server) NumTables() int { return len(s.tables) }
+// NumTables returns the number of table slots, tombstoned (detached) slots
+// included: table indexes are stable for the server's lifetime.
+func (s *Server) NumTables() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables)
+}
 
-// Table returns the table file at index i.
-func (s *Server) Table(i int) *TableFile { return s.tables[i].tf }
+// Table returns the table file at index i (the file of a detached slot is
+// still returned; it remains owned by the caller who attached it).
+func (s *Server) Table(i int) *TableFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[i].tf
+}
+
+// Lookup returns the slot serving the named live table. Detached tables are
+// not found — their names are freed the moment the detach begins.
+func (s *Server) Lookup(name string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.names[name]
+	return i, ok
+}
+
+// TableName returns the registration name of table slot i.
+func (s *Server) TableName(i int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[i].name
+}
 
 // Scan executes one cooperative scan over the given chunk ranges of table
 // `table` in the calling goroutine, invoking onChunk for every delivered
@@ -1110,39 +1261,70 @@ func (s *Server) Scan(table int, name string, ranges storage.RangeSet, cols stor
 // is observed between chunk deliveries: an onChunk already in progress runs
 // to completion. A nil ctx is Background.
 func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	return s.ScanWith(ctx, ScanRequest{Table: table, Name: name, Ranges: ranges, Cols: cols}, onChunk)
+}
+
+// ScanRequest names everything one cooperative scan needs: the table slot,
+// a diagnostic name, the chunk ranges, the column projection and an
+// optional SLO weight.
+type ScanRequest struct {
+	Table  int
+	Name   string
+	Ranges storage.RangeSet
+	Cols   storage.ColSet
+	// Weight is the scan's starvation weight under the relevance policy:
+	// the scheduler ranks the query as if it had remaining/Weight chunks
+	// left, so higher-weight (interactive) scans cannot be starved by
+	// floods of weight-1 (batch) ones. Zero means the default 1, which is
+	// exactly the paper's unweighted formula.
+	Weight float64
+}
+
+// ScanWith is ScanContext with per-request options (currently the SLO
+// weight); the serve front-end's session path.
+func (s *Server) ScanWith(ctx context.Context, req ScanRequest, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if table < 0 || table >= len(s.tables) {
-		return core.Stats{}, fmt.Errorf("%w: scan %q over table %d of %d", ErrUnknownTable, name, table, len(s.tables))
+	if req.Weight < 0 {
+		return core.Stats{}, fmt.Errorf("%w: scan %q weight %v", ErrInvalidWeight, req.Name, req.Weight)
 	}
-	t := s.tables[table]
+	s.mu.Lock()
+	if req.Table < 0 || req.Table >= len(s.tables) {
+		n := len(s.tables)
+		s.mu.Unlock()
+		return core.Stats{}, fmt.Errorf("%w: scan %q over table %d of %d", ErrUnknownTable, req.Name, req.Table, n)
+	}
+	t := s.tables[req.Table]
+	s.mu.Unlock()
 	// Validate before touching shared state: core.NewQuery panics on these,
-	// and a panic while holding s.mu would wedge the whole server.
-	if ranges.Empty() {
-		return core.Stats{}, fmt.Errorf("%w: scan %q over empty range set", ErrInvalidRange, name)
+	// and a panic while holding s.mu would wedge the whole server. The
+	// table file is immutable, so these reads are safe without the lock;
+	// a concurrent detach is caught at registration.
+	if req.Ranges.Empty() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q over empty range set", ErrInvalidRange, req.Name)
 	}
-	if min := ranges.Min(); min < 0 {
-		return core.Stats{}, fmt.Errorf("%w: scan %q range %v starts below zero", ErrInvalidRange, name, ranges)
+	if min := req.Ranges.Min(); min < 0 {
+		return core.Stats{}, fmt.Errorf("%w: scan %q range %v starts below zero", ErrInvalidRange, req.Name, req.Ranges)
 	}
-	if ranges.Max() >= t.tf.NumChunks() {
-		return core.Stats{}, fmt.Errorf("%w: scan %q range %v beyond table (%d chunks)", ErrInvalidRange, name, ranges, t.tf.NumChunks())
+	if req.Ranges.Max() >= t.tf.NumChunks() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q range %v beyond table (%d chunks)", ErrInvalidRange, req.Name, req.Ranges, t.tf.NumChunks())
 	}
-	if cols.Empty() {
-		return core.Stats{}, fmt.Errorf("%w: scan %q declares no columns", ErrInvalidColumns, name)
+	if req.Cols.Empty() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q declares no columns", ErrInvalidColumns, req.Name)
 	}
-	if bad := cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
-		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, name, bad, NumCols)
+	if bad := req.Cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
+		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, req.Name, bad, NumCols)
 	}
 	if !s.o.enabled {
-		return s.scanStream(ctx, t, name, ranges, cols, onChunk)
+		return s.scanStream(ctx, t, req, onChunk)
 	}
 	// With observability on, label the stream's goroutine so CPU and
 	// goroutine profiles attribute work to the scan and its table.
 	var st core.Stats
 	var err error
-	pprof.Do(ctx, pprof.Labels("scan", name, "table", t.name), func(ctx context.Context) {
-		st, err = s.scanStream(ctx, t, name, ranges, cols, onChunk)
+	pprof.Do(ctx, pprof.Labels("scan", req.Name, "table", t.name), func(ctx context.Context) {
+		st, err = s.scanStream(ctx, t, req, onChunk)
 	})
 	return st, err
 }
@@ -1151,7 +1333,8 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 // for the scheduler's batch drain, then loops pick → pin → deliver →
 // release until the range is consumed, parking on its own condition
 // variable while blocked (woken by the query's availability waker).
-func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ranges storage.RangeSet, cols storage.ColSet, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+func (s *Server) scanStream(ctx context.Context, t *serverTable, req ScanRequest, onChunk func(chunk int, data ChunkData)) (core.Stats, error) {
+	name, ranges, cols := req.Name, req.Ranges, req.Cols
 	// w is this stream's private condition variable: the stream parks on it
 	// (never on the scheduler's cond) and is woken individually — by its
 	// query's availability waker, a quarantine on its table, its context
@@ -1219,22 +1402,30 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 	// the scheduler drains the whole queue in one batch (one arbiter pass
 	// for any number of simultaneous arrivals) and wires the query's waker
 	// to w before this stream can ever block on availability.
-	req := &regRequest{t: t, name: name, ranges: ranges, cols: cols, w: w}
-	s.regQueue = append(s.regQueue, req)
+	if t.detaching || t.detached {
+		s.mu.Unlock()
+		return core.Stats{}, fmt.Errorf("engine: scan %q: %w: table %s", name, ErrTableDetached, t.name)
+	}
+	reg := &regRequest{t: t, name: name, ranges: ranges, cols: cols, weight: req.Weight, w: w}
+	s.regQueue = append(s.regQueue, reg)
 	s.cond.Signal()
-	for !req.done {
+	for !reg.done {
 		w.Wait()
 	}
-	if req.q == nil {
-		// The server closed before the registration was served.
-		err := s.err
+	if reg.q == nil {
+		// The server closed — or the table detached — before the
+		// registration was served.
+		err := reg.err
+		if err == nil {
+			err = s.err
+		}
 		s.mu.Unlock()
 		if err == nil {
 			err = ErrClosed
 		}
 		return core.Stats{}, err
 	}
-	q := req.q
+	q := reg.q
 	for !q.Finished() {
 		if s.closed {
 			closeWait()
@@ -1258,6 +1449,17 @@ func (s *Server) scanStream(ctx context.Context, t *serverTable, name string, ra
 			s.mu.Unlock()
 			st.BytesUseful = useful
 			return st, fmt.Errorf("engine: scan %q: %w", name, cerr)
+		}
+		if t.detaching {
+			// The table is being detached: unregister so the scheduler can
+			// quiesce and finalise it, and fail typed.
+			closeWait()
+			delete(t.streams, q)
+			st := t.abm.Finish(q)
+			s.cond.Signal()
+			s.mu.Unlock()
+			st.BytesUseful = useful
+			return st, fmt.Errorf("engine: scan %q: %w: table %s", name, ErrTableDetached, t.name)
 		}
 		if qerr := s.quarantineError(t, q); qerr != nil {
 			closeWait()
@@ -1350,6 +1552,9 @@ func (s *Server) Stats() ServerStats {
 func (s *Server) statsLocked() ServerStats {
 	out := ServerStats{Pool: s.pool.Stats(), Faults: s.faults}
 	for _, t := range s.tables {
+		if t.detached {
+			continue
+		}
 		schedDur, schedCalls := t.abm.SchedulingCost()
 		out.Tables = append(out.Tables, TableStats{
 			Name:        t.name,
@@ -1398,13 +1603,16 @@ func (s *Server) StatusSnapshot() Status {
 	}
 }
 
-// Budgets returns the current arbiter grants in table order.
+// Budgets returns the current arbiter grants in table-slot order (zero for
+// detached slots).
 func (s *Server) Budgets() []int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]int64, len(s.tables))
 	for i, t := range s.tables {
-		out[i] = t.abm.BufferBytes()
+		if !t.detached {
+			out[i] = t.abm.BufferBytes()
+		}
 	}
 	return out
 }
@@ -1421,6 +1629,7 @@ func (s *Server) Close() error {
 		s.mu.Lock()
 		s.closed = true
 		s.cond.Signal()
+		s.detachCond.Broadcast()
 		s.wakeAllStreams()
 		s.mu.Unlock()
 		<-s.schedDone

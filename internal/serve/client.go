@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// ScanParams describes one client-side scan request.
+type ScanParams struct {
+	Table string
+	// Start and End bound the chunk range; both zero means the full table.
+	Start, End int
+	// Cols is the projection in wire form: "q6" (default), "q1", "all" or
+	// a comma-separated index list.
+	Cols       string
+	Tier       Tier
+	DeadlineMS int64
+	Name       string
+	AggQ6      bool
+}
+
+// ScanResult is the decoded NDJSON stream of one scan session.
+type ScanResult struct {
+	Header  Header
+	Chunks  []Chunk // heartbeat lines excluded
+	Trailer Trailer
+}
+
+// RunScan drives one /scan session against baseURL and decodes the NDJSON
+// stream, calling onChunk (if non-nil) per chunk receipt. Admission
+// rejections come back typed: errors.Is(err, ErrShed) for a 429 (with the
+// server's retry-after in the wrapped *ShedError) and errors.Is(err,
+// ErrDraining) for a 503. A scan that fails mid-stream returns the partial
+// result alongside the trailer's error.
+func RunScan(ctx context.Context, client *http.Client, baseURL string, p ScanParams, onChunk func(Chunk)) (*ScanResult, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	q := url.Values{}
+	q.Set("table", p.Table)
+	if p.Start != 0 || p.End != 0 {
+		q.Set("start", strconv.Itoa(p.Start))
+		q.Set("end", strconv.Itoa(p.End))
+	}
+	if p.Cols != "" {
+		q.Set("cols", p.Cols)
+	}
+	q.Set("tier", p.Tier.String())
+	if p.DeadlineMS > 0 {
+		q.Set("deadline_ms", strconv.FormatInt(p.DeadlineMS, 10))
+	}
+	if p.Name != "" {
+		q.Set("name", p.Name)
+	}
+	if p.AggQ6 {
+		q.Set("agg", "q6")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/scan?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body errorBody
+		json.NewDecoder(resp.Body).Decode(&body)
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return nil, &ShedError{RetryAfter: time.Duration(body.RetryAfterMS) * time.Millisecond}
+		case http.StatusServiceUnavailable:
+			return nil, fmt.Errorf("%w: %s", ErrDraining, body.Error)
+		}
+		return nil, fmt.Errorf("serve: scan rejected: %d %s", resp.StatusCode, body.Error)
+	}
+
+	res := &ScanResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return res, err
+		}
+		return res, errors.New("serve: stream closed before header")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &res.Header); err != nil {
+		return res, fmt.Errorf("serve: bad header line: %w", err)
+	}
+	for sc.Scan() {
+		var probe struct {
+			Chunk *int  `json:"chunk"`
+			HB    bool  `json:"hb"`
+			Done  *bool `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return res, fmt.Errorf("serve: bad stream line: %w", err)
+		}
+		switch {
+		case probe.HB:
+		case probe.Chunk != nil:
+			var c Chunk
+			if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+				return res, fmt.Errorf("serve: bad chunk line: %w", err)
+			}
+			res.Chunks = append(res.Chunks, c)
+			if onChunk != nil {
+				onChunk(c)
+			}
+		case probe.Done != nil:
+			if err := json.Unmarshal(sc.Bytes(), &res.Trailer); err != nil {
+				return res, fmt.Errorf("serve: bad trailer line: %w", err)
+			}
+			if res.Trailer.Error != "" {
+				return res, fmt.Errorf("serve: remote scan failed: %s", res.Trailer.Error)
+			}
+			return res, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, err
+	}
+	return res, errors.New("serve: stream closed before trailer")
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"coopscan/internal/engine"
+	"coopscan/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the metrics exposition golden")
+
+// TestMetricsExpositionGolden drives a deterministic session sequence
+// through the front-end — one queued-then-expired deadline, one queued
+// completion, one shed, one interactive completion — and compares the full
+// Prometheus exposition byte-for-byte against the golden file.
+func TestMetricsExpositionGolden(t *testing.T) {
+	tf := newTestTable(t, 4_000, 1000, 32)
+	reg := obs.NewRegistry()
+	fx := newFixture(t, engine.ServerConfig{}, Config{MaxLive: 1, MaxQueue: 1, Obs: reg}, tf)
+	table := fx.eng.TableName(0)
+
+	// Hold the only live slot via the gate directly, so the HTTP sessions
+	// below queue/shed deterministically.
+	if _, err := fx.f.gate.Admit(context.Background(), TierBatch); err != nil {
+		t.Fatal(err)
+	}
+
+	// A: queues, then its deadline expires in the queue (504).
+	if _, err := RunScan(context.Background(), nil, fx.url, ScanParams{
+		Table: table, Name: "expired", DeadlineMS: 40,
+	}, nil); err == nil || !strings.Contains(err.Error(), "deadline exceeded in admission queue") {
+		t.Fatalf("queued-deadline err = %v", err)
+	}
+	waitFor(t, func() bool { return fx.f.gate.status().queued == 0 })
+
+	// B: queues and eventually completes once the slot frees.
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := RunScan(context.Background(), nil, fx.url, ScanParams{Table: table, Name: "patient"}, nil)
+		bDone <- err
+	}()
+	waitFor(t, func() bool { return fx.f.gate.status().queued == 1 })
+
+	// C: queue full — shed, typed.
+	if _, err := RunScan(context.Background(), nil, fx.url, ScanParams{Table: table, Name: "unlucky"}, nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow err = %v, want ErrShed", err)
+	}
+
+	// Free the held slot: B is promoted and completes.
+	fx.f.gate.Release()
+	if err := <-bDone; err != nil {
+		t.Fatalf("queued session: %v", err)
+	}
+
+	// D: interactive session straight through the free slot.
+	if _, err := RunScan(context.Background(), nil, fx.url, ScanParams{
+		Table: table, Name: "vip", Tier: TierInteractive,
+	}, nil); err != nil {
+		t.Fatalf("interactive session: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	const goldenPath = "testdata/metrics_golden.txt"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The same counters surface in /statusz's sessions section.
+	resp, err := http.Get(fx.url + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Engine   json.RawMessage `json:"engine"`
+		Sessions SessionsStatus  `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode statusz: %v", err)
+	}
+	if len(status.Engine) == 0 {
+		t.Error("statusz missing engine section")
+	}
+	ss := status.Sessions
+	if ss.MaxLive != 1 || ss.Live != 0 || ss.PeakLive != 1 {
+		t.Errorf("sessions status %+v, want max_live=1 live=0 peak_live=1", ss)
+	}
+	b, ti := ss.Tiers["batch"], ss.Tiers["interactive"]
+	if b.Admitted != 1 || b.Queued != 2 || b.Shed != 1 || b.DeadlineExceeded != 1 || b.Completed != 1 {
+		t.Errorf("batch tier %+v, want admitted=1 queued=2 shed=1 deadline=1 completed=1", b)
+	}
+	if ti.Admitted != 1 || ti.Completed != 1 {
+		t.Errorf("interactive tier %+v, want admitted=completed=1", ti)
+	}
+	fx.shutdown(t, context.Background())
+}

@@ -76,5 +76,28 @@ func TestSoakRand(t *testing.T) {
 			}
 			t.Logf("engine soak: %+v", rep)
 		})
+		t.Run(fmt.Sprintf("serve/seed=%d/%v", seed, pol), func(t *testing.T) {
+			rep, err := RunServe(ServeConfig{Seed: seed, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The session mix must actually exercise the front-end: golden
+			// completions, admin churn racing traffic, and an overload wave
+			// that sheds typed. Disconnects/deadlines are probabilistic per
+			// seed, so they are reported but not required individually.
+			if rep.Completed == 0 {
+				t.Fatalf("no session completed: %+v", rep)
+			}
+			if rep.Shed == 0 {
+				t.Fatalf("overload wave never shed: %+v", rep)
+			}
+			if rep.Attaches < 2 || rep.Detaches < 2 {
+				t.Fatalf("admin churn never cycled: %+v", rep)
+			}
+			if rep.Injected == 0 {
+				t.Fatal("fault injector never fired under serving traffic")
+			}
+			t.Logf("serve soak: %+v", rep)
+		})
 	}
 }
