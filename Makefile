@@ -17,7 +17,11 @@
 # magnitude further (sim 4096/8192 queries, live 512/2048/4096 streams,
 # `make bench-scale` → BENCH_PR8.json; sched-ns/decision must stay within
 # 1.5× from 512 to 4096 live streams) guarded by the randomized multi-seed
-# soak harness (`make soak-rand SEEDS=...`). See docs/BENCHMARKS.md for the
+# soak harness (`make soak-rand SEEDS=...`), and PR 10 adds the compressed
+# v4 storage A/B (`make bench-compress` → BENCH_PR10.json: Q6-only raw vs
+# compressed vs compressed+zonemap-pruned under a 64 MiB/s device model;
+# compressed disk-MiB/op must stay ≤ 0.5× raw and the pruned variant must
+# skip ≥ 60% of registered chunks). See docs/BENCHMARKS.md for the
 # trajectory and repro commands.
 
 GO        ?= go
@@ -25,7 +29,7 @@ BENCHTIME ?= 3x
 BENCH_OUT ?= BENCH_PR8.json
 SEEDS     ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test test-race test-serve vet fmt-check soak soak-rand bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-scale bench-json
+.PHONY: build test test-race test-serve vet fmt-check soak soak-rand bench bench-live bench-multi bench-sched bench-dsm bench-fault bench-obs bench-scale bench-compress bench-json
 
 build:
 	$(GO) build ./...
@@ -135,6 +139,18 @@ bench-obs:
 # stream count.
 bench-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerScaling|BenchmarkLiveSchedulerScale' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR8.json
+
+# Compressed-extent storage A/B (the PR 10 perf artifact): the Q6-only
+# live workload over a raw DSM file, its compressed (v4) twin, and the
+# compressed file with Q6 zonemap predicates registered — all under a
+# 64 MiB/s modelled device, where stored bytes are the scarce resource.
+# Acceptance: compressed disk-MiB/op ≤ 0.5 × raw (measured ~0.13 — the Q6
+# projection compresses harder than the table average), decoded-MiB/op
+# comparable between raw and compressed (same fixed-width pool pages), and
+# the pruned variant skips ≥ 60% of registered chunks with unchanged
+# aggregates (see compress_bench_test.go).
+bench-compress:
+	$(GO) test -run '^$$' -bench BenchmarkLiveCompressedIO -benchmem -benchtime $(BENCHTIME) -json . > BENCH_PR10.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > $(BENCH_OUT)

@@ -24,6 +24,8 @@ func runLive(args []string) {
 	fs := flag.NewFlagSet("live", flag.ExitOnError)
 	file := fs.String("file", "", "table file path (default: a per-shape file under $TMPDIR, created on demand)")
 	dsm := fs.Bool("dsm", false, "store/open the table column-major (DSM): queries pay only for the columns they read")
+	compressFlag := fs.Bool("compress", false, "store/open the table with compressed extents and zonemaps (v4; requires -dsm)")
+	prune := fs.Bool("prune", false, "register Q6 scans with predicate ranges so zonemaps prune non-matching chunks")
 	rows := fs.Int64("rows", 1_500_000, "table rows when creating the file")
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the file")
 	seed := fs.Uint64("seed", 1, "generator and workload seed")
@@ -47,11 +49,15 @@ func runLive(args []string) {
 		fmt.Fprintln(os.Stderr, "coopscan live:", err)
 		os.Exit(2)
 	}
+	if *compressFlag && !*dsm {
+		fmt.Fprintln(os.Stderr, "coopscan live: -compress requires -dsm (compressed extents are column-major)")
+		os.Exit(2)
+	}
 	format := engine.NSM
 	if *dsm {
 		format = engine.DSM
 	}
-	tf, err := openOrCreate(*file, format, *rows, *tpc, *seed)
+	tf, err := openOrCreate(*file, format, *compressFlag, *rows, *tpc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coopscan live:", err)
 		os.Exit(1)
@@ -69,8 +75,13 @@ func runLive(args []string) {
 	}
 	defer rig.Close()
 	fmt.Printf("table: %s (%s, %d rows, %d chunks × %s, %s total)\n",
-		tf.Path(), tf.Format(), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
+		tf.Path(), describeFormat(tf), tf.Rows(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()),
 		fmtBytes(int64(tf.NumChunks())*tf.ChunkBytes()))
+	if tf.Compressed() {
+		raw := int64(tf.NumChunks()) * tf.ChunkBytes()
+		fmt.Printf("stored: %s of %s raw (%.2fx compression)\n",
+			fmtBytes(tf.StoredBytes()), fmtBytes(raw), float64(raw)/float64(tf.StoredBytes()))
+	}
 	fmt.Printf("workload: %d streams × %d queries, %s buffer, stagger %v\n", *streams, *queries, fmtBytes(*bufferMB<<20), *stagger)
 	if injectors != nil {
 		fmt.Printf("faults: plan %q, seed %d\n", *faultPlan, *faultSeed)
@@ -90,6 +101,7 @@ func runLive(args []string) {
 			stagger:      *stagger,
 			measureSched: *measureSched,
 			faulty:       injectors != nil,
+			prune:        *prune,
 			verbose:      *verbose,
 		}, rig)
 		if err != nil {
@@ -146,25 +158,41 @@ func printInjectorStats(injs []*iofault.Injector) {
 
 // openOrCreate opens the table file, generating it only when the path does
 // not exist yet. An existing file that fails to open, or that stores the
-// other physical format, is an error — never overwritten (the user may have
-// pointed -file at something else entirely).
-func openOrCreate(path string, format engine.Format, rows, tpc int64, seed uint64) (*engine.TableFile, error) {
+// other physical format (including compressed vs raw), is an error — never
+// overwritten (the user may have pointed -file at something else entirely).
+func openOrCreate(path string, format engine.Format, compressed bool, rows, tpc int64, seed uint64) (*engine.TableFile, error) {
 	if path == "" {
-		path = filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-live-%s-%d-%d-%d.tbl", format, rows, tpc, seed))
+		shape := format.String()
+		if compressed {
+			shape += "c"
+		}
+		path = filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-live-%s-%d-%d-%d.tbl", shape, rows, tpc, seed))
 	}
 	if _, err := os.Stat(path); err == nil {
 		tf, err := engine.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		if tf.Format() != format {
+		if tf.Format() != format || tf.Compressed() != compressed {
 			tf.Close()
-			return nil, fmt.Errorf("%s stores %v, want %v (pick another -file or remove it)", path, tf.Format(), format)
+			return nil, fmt.Errorf("%s stores %s, want %s (pick another -file or remove it)",
+				path, describeFormat(tf), wantShape(format, compressed))
 		}
 		return tf, nil
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 	fmt.Printf("generating %s ...\n", path)
+	if compressed {
+		return engine.CreateCompressed(path, rows, tpc, seed)
+	}
 	return engine.CreateFormat(path, format, rows, tpc, seed)
+}
+
+// wantShape renders the requested physical shape for error messages.
+func wantShape(format engine.Format, compressed bool) string {
+	if compressed {
+		return fmt.Sprintf("%s compressed", format)
+	}
+	return format.String()
 }

@@ -14,8 +14,14 @@
 //
 //	coopscan live                  # 8 streams, all policies, tmp table file
 //	coopscan live -policy relevance -streams 16 -buffer-mb 32
+//	coopscan live -dsm -compress -prune   # compressed v4 extents + zonemap pruning
 //	coopscan multi                 # 2 tables × 8 streams, shared budget
 //	coopscan multi -tables 3 -inflight 8 -buffer-mb 48
+//
+// The create subcommand pre-generates a table file (NSM, DSM, or
+// compressed DSM with per-column schemes and zonemaps):
+//
+//	coopscan create -file lineitem.tbl -dsm -compress
 //
 // The serve subcommand exposes the engine over an HTTP/2 chunked-streaming
 // front-end with admission control, SLO tiers, deadlines and graceful
@@ -82,6 +88,10 @@ func catalogue() []experiment {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "create" {
+		runCreate(os.Args[2:])
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "live" {
 		runLive(os.Args[2:])
 		return

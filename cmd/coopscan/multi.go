@@ -20,6 +20,8 @@ func runMulti(args []string) {
 	fs := flag.NewFlagSet("multi", flag.ExitOnError)
 	dir := fs.String("dir", "", "directory for the table files (default $TMPDIR, created on demand)")
 	dsm := fs.Bool("dsm", false, "store/open the tables column-major (DSM): queries pay only for the columns they read")
+	compressFlag := fs.Bool("compress", false, "store/open the tables with compressed extents and zonemaps (v4; requires -dsm)")
+	prune := fs.Bool("prune", false, "register Q6 scans with predicate ranges so zonemaps prune non-matching chunks")
 	tables := fs.Int("tables", 2, "number of tables")
 	rows := fs.Int64("rows", 1_500_000, "rows per table when creating the files")
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk when creating the files")
@@ -48,6 +50,10 @@ func runMulti(args []string) {
 		fmt.Fprintln(os.Stderr, "coopscan multi: need at least one table")
 		os.Exit(2)
 	}
+	if *compressFlag && !*dsm {
+		fmt.Fprintln(os.Stderr, "coopscan multi: -compress requires -dsm (compressed extents are column-major)")
+		os.Exit(2)
+	}
 	tfs := make([]*engine.TableFile, *tables)
 	for i := range tfs {
 		base := *dir
@@ -58,8 +64,12 @@ func runMulti(args []string) {
 		if *dsm {
 			format = engine.DSM
 		}
-		path := filepath.Join(base, fmt.Sprintf("coopscan-multi-%s-%d-%d-%d-t%d.tbl", format, *rows, *tpc, *seed, i))
-		tf, err := openOrCreate(path, format, *rows, *tpc, *seed+uint64(i))
+		shape := format.String()
+		if *compressFlag {
+			shape += "c"
+		}
+		path := filepath.Join(base, fmt.Sprintf("coopscan-multi-%s-%d-%d-%d-t%d.tbl", shape, *rows, *tpc, *seed, i))
+		tf, err := openOrCreate(path, format, *compressFlag, *rows, *tpc, *seed+uint64(i))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coopscan multi:", err)
 			os.Exit(1)
@@ -83,7 +93,7 @@ func runMulti(args []string) {
 		footprint += int64(tf.NumChunks()) * tf.ChunkBytes()
 	}
 	fmt.Printf("tables: %d × %d rows (%s, %d chunks × %s each, %s total)\n",
-		*tables, *rows, tfs[0].Format(), tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
+		*tables, *rows, describeFormat(tfs[0]), tfs[0].NumChunks(), fmtBytes(tfs[0].ChunkBytes()), fmtBytes(footprint))
 	fmt.Printf("workload: %d streams × %d queries per table, %s shared buffer, in-flight depth %d, stagger %v\n",
 		*streams, *queries, fmtBytes(*bufferMB<<20), *inflight, *stagger)
 	if injectors != nil {
@@ -104,6 +114,7 @@ func runMulti(args []string) {
 			stagger:      *stagger,
 			measureSched: *measureSched,
 			faulty:       injectors != nil,
+			prune:        *prune,
 			verbose:      *verbose,
 		}, rig)
 		if err != nil {

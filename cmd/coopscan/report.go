@@ -59,6 +59,7 @@ func (r *runResult) String() string {
 	out += fmt.Sprintf("  read %8s (%.0f MiB/s)  useful %8s (%.2fx)\n",
 		fmtBytes(r.realBytes), bw, fmtBytes(r.usefulBytes), usefulFraction(r.usefulBytes, r.realBytes))
 	out += faultLine(r.status.Faults, r.unavailable)
+	out += diskLine(r.status.Tables)
 	out += schedLine(r.status.Tables)
 	if !single {
 		for table, outs := range r.perTable {
@@ -92,9 +93,38 @@ func (r *runResult) tableLine(table int, outs []liveOutcome) string {
 		tAvg = tSum / time.Duration(len(outs))
 	}
 	ts := r.status.Tables[table]
-	return fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  useful %8s  budget %s\n",
+	line := fmt.Sprintf("  %-14s avg %8v  max %8v  loads %4d  evict %4d  read %8s  useful %8s  budget %s",
 		ts.Name, tAvg.Round(time.Millisecond), tMax.Round(time.Millisecond),
 		ts.ABM.Loads, ts.ABM.Evictions, fmtBytes(ts.ABM.BytesRead), fmtBytes(tUseful), fmtBytes(ts.BudgetBytes))
+	if ts.DiskBytesRead > 0 && ts.DiskBytesRead != ts.ABM.BytesRead {
+		line += fmt.Sprintf("  disk %8s", fmtBytes(ts.DiskBytesRead))
+	}
+	if ts.ChunksPruned > 0 {
+		line += fmt.Sprintf("  pruned %4d", ts.ChunksPruned)
+	}
+	return line + "\n"
+}
+
+// diskLine renders the stored-vs-decoded byte accounting and the
+// zonemap-pruning counter, or nothing when no table diverges from the raw
+// path (raw files read decoded widths and prune nothing, so the line only
+// appears for compressed or predicated runs).
+func diskLine(tables []engine.TableStats) string {
+	var disk, decoded, pruned int64
+	for _, ts := range tables {
+		disk += ts.DiskBytesRead
+		decoded += ts.ABM.BytesRead
+		pruned += ts.ChunksPruned
+	}
+	if pruned == 0 && (disk == 0 || disk == decoded) {
+		return ""
+	}
+	ratio := 0.0
+	if disk > 0 {
+		ratio = float64(decoded) / float64(disk)
+	}
+	return fmt.Sprintf("  disk: %s stored read, %s decoded (%.2fx), %d chunks pruned\n",
+		fmtBytes(disk), fmtBytes(decoded), ratio, pruned)
 }
 
 // schedLine renders the scheduling-cost meter, or nothing when

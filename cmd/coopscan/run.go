@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ type runSpec struct {
 	stagger      time.Duration
 	measureSched bool
 	faulty       bool
+	prune        bool
 	verbose      bool
 }
 
@@ -71,7 +73,16 @@ func runPolicy(spec runSpec, rig *obsRig) (*runResult, error) {
 				time.Sleep(time.Duration(s) * spec.stagger)
 				for _, q := range plan[s] {
 					qStart := time.Now()
-					st, err := srv.Scan(table, q.Name, q.Ranges, q.Cols, liveOnChunk(q.Slow))
+					req := engine.ScanRequest{
+						Table: table, Name: q.Name, Ranges: q.Ranges, Cols: q.Cols,
+					}
+					if spec.prune && !q.Slow {
+						// FAST streams run the Q6 kernel; handing its filter
+						// ranges to the engine lets zonemaps drop chunks that
+						// cannot match before they reach the scheduler.
+						req.Preds = engine.Q6Preds(exec.DefaultQ6())
+					}
+					st, err := srv.ScanWith(context.Background(), req, liveOnChunk(q.Slow))
 					mu.Lock()
 					if err != nil {
 						// Under an active fault plan a quarantined part fails

@@ -31,6 +31,8 @@ func runServe(args []string) {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	files := fs.String("file", "", "comma-separated table file paths (default: -tables generated files under $TMPDIR)")
 	dsm := fs.Bool("dsm", false, "store/open generated tables column-major (DSM)")
+	compressFlag := fs.Bool("compress", false, "store/open generated tables with compressed extents and zonemaps (v4; requires -dsm)")
+	prune := fs.Bool("prune", false, "register Q6-aggregating scans with predicate ranges so zonemaps prune non-matching chunks")
 	tables := fs.Int("tables", 1, "number of tables to generate when -file is empty")
 	rows := fs.Int64("rows", 1_500_000, "rows per generated table")
 	tpc := fs.Int64("tuples-per-chunk", 32768, "tuples per chunk for generated tables")
@@ -65,13 +67,21 @@ func runServe(args []string) {
 			tfs = append(tfs, tf)
 		}
 	} else {
+		if *compressFlag && !*dsm {
+			fmt.Fprintln(os.Stderr, "coopscan serve: -compress requires -dsm (compressed extents are column-major)")
+			os.Exit(2)
+		}
 		format := engine.NSM
 		if *dsm {
 			format = engine.DSM
 		}
+		shape := format.String()
+		if *compressFlag {
+			shape += "c"
+		}
 		for i := 0; i < *tables; i++ {
-			path := filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-serve-%s-%d-%d-%d-t%d.tbl", format, *rows, *tpc, *seed, i))
-			tf, err := openOrCreate(path, format, *rows, *tpc, *seed+uint64(i))
+			path := filepath.Join(os.TempDir(), fmt.Sprintf("coopscan-serve-%s-%d-%d-%d-t%d.tbl", shape, *rows, *tpc, *seed, i))
+			tf, err := openOrCreate(path, format, *compressFlag, *rows, *tpc, *seed+uint64(i))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "coopscan serve:", err)
 				os.Exit(1)
@@ -104,6 +114,7 @@ func runServe(args []string) {
 		MaxQueue:     *maxQueue,
 		Heartbeat:    *heartbeat,
 		WriteTimeout: *writeTimeout,
+		PruneQ6:      *prune,
 		Obs:          reg,
 	})
 	if err != nil {
@@ -119,7 +130,7 @@ func runServe(args []string) {
 	srv := front.Server()
 	for i, tf := range tfs {
 		fmt.Printf("table %-14s %s (%s, %d chunks × %s)\n",
-			eng.TableName(i), tf.Path(), tf.Format(), tf.NumChunks(), fmtBytes(tf.ChunkBytes()))
+			eng.TableName(i), tf.Path(), describeFormat(tf), tf.NumChunks(), fmtBytes(tf.ChunkBytes()))
 	}
 	fmt.Printf("serving: http://%s/scan  (h2c; also /metrics /statusz /debug/pprof /admin/attach /admin/detach)\n", ln.Addr())
 	fmt.Printf("admission: %d live, queue %d, policy %v, %s buffer\n", *maxLive, *maxQueue, policies[0], fmtBytes(*bufferMB<<20))

@@ -1,5 +1,7 @@
 package compress
 
+import "sync"
+
 // Bit-packing primitives: fixed-width little-endian packing of uint64 values
 // into a byte stream. Width 0 is legal and encodes a stream of zeros in no
 // bytes at all, which PFOR and PDICT exploit for constant columns.
@@ -38,13 +40,35 @@ func packBits(dst []byte, values []uint64, width uint) []byte {
 	return dst
 }
 
-// unpackBits reads n values of the given bit width from src. It returns the
-// values and the number of bytes consumed.
-func unpackBits(src []byte, n int, width uint) ([]uint64, int) {
+// u64Scratch pools the unpacked-codes scratch the decoders burn through one
+// buffer per extent on the live read path.
+var u64Scratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// getScratch returns a zeroed []uint64 of length n, reusing pooled backing
+// arrays when large enough. Pair with putScratch.
+func getScratch(n int) []uint64 {
+	p := u64Scratch.Get().(*[]uint64)
+	if cap(*p) < n {
+		return make([]uint64, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func putScratch(s []uint64) {
+	u64Scratch.Put(&s)
+}
+
+// unpackBits reads n values of the given bit width from src into out (which
+// must have length n and be zeroed). It returns the values and the number of
+// bytes consumed.
+func unpackBits(out []uint64, src []byte, n int, width uint) ([]uint64, int) {
 	if width > 64 {
 		panic("compress: bit width > 64")
 	}
-	out := make([]uint64, n)
 	if width == 0 {
 		return out, 0
 	}

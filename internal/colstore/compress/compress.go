@@ -44,6 +44,13 @@ func (s Scheme) String() string {
 // ErrCorrupt is returned when a buffer cannot be decoded.
 var ErrCorrupt = errors.New("compress: corrupt buffer")
 
+// maxValues bounds the per-buffer value count a decoder will accept. Extents
+// are encoded one (chunk,column) stripe at a time, far below this; anything
+// larger is a corrupt header and must not drive allocation sizing (a width-0
+// PFOR buffer is a few bytes regardless of its claimed n, so the cap is what
+// keeps adversarial headers from becoming decompression bombs).
+const maxValues = 1 << 20
+
 // header layout (little endian):
 //
 //	byte 0    scheme
@@ -66,7 +73,7 @@ func readHeader(src []byte) (s Scheme, width uint, n int, rest []byte, err error
 	s = Scheme(src[0])
 	width = uint(src[1])
 	n64 := binary.LittleEndian.Uint64(src[2:10])
-	if n64 > 1<<40 {
+	if n64 > maxValues || width > 64 {
 		return 0, 0, 0, nil, ErrCorrupt
 	}
 	return s, width, int(n64), src[headerSize:], nil
@@ -91,21 +98,36 @@ func EncodeInts(s Scheme, values []int64) ([]byte, error) {
 
 // DecodeInts decompresses a buffer produced by EncodeInts.
 func DecodeInts(buf []byte) ([]int64, error) {
+	return DecodeIntsInto(nil, buf)
+}
+
+// DecodeIntsInto decompresses like DecodeInts but reuses dst's backing array
+// when it is large enough, so hot decode loops (the live engine decompresses
+// one extent per pinned page) can hold per-worker scratch instead of
+// allocating per call. The returned slice is the decoded data; dst's contents
+// are overwritten.
+func DecodeIntsInto(dst []int64, buf []byte) ([]int64, error) {
 	s, width, n, rest, err := readHeader(buf)
 	if err != nil {
 		return nil, err
 	}
+	out := dst
+	if cap(out) >= n {
+		out = out[:n]
+	} else {
+		out = make([]int64, n)
+	}
 	switch s {
 	case Raw:
-		return decodeRaw(rest, n)
+		return decodeRaw(out, rest, n)
 	case PFOR:
-		return decodePFOR(rest, n, width, false)
+		return decodePFOR(out, rest, n, width, false)
 	case PFORDelta:
-		return decodePFOR(rest, n, width, true)
+		return decodePFOR(out, rest, n, width, true)
 	case PDict:
-		return decodeIntDict(rest, n, width)
+		return decodeIntDict(out, rest, n, width)
 	default:
-		return nil, fmt.Errorf("compress: unknown scheme %v", s)
+		return nil, fmt.Errorf("compress: unknown scheme %v: %w", s, ErrCorrupt)
 	}
 }
 
@@ -119,11 +141,10 @@ func encodeRaw(values []int64) []byte {
 	return out
 }
 
-func decodeRaw(src []byte, n int) ([]int64, error) {
+func decodeRaw(out []int64, src []byte, n int) ([]int64, error) {
 	if len(src) < 8*n {
 		return nil, ErrCorrupt
 	}
-	out := make([]int64, n)
 	for i := range out {
 		out[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
 	}
@@ -246,9 +267,9 @@ func pforPayload(scheme Scheme, u []uint64, base uint64) []byte {
 	return out
 }
 
-func decodePFOR(src []byte, n int, width uint, delta bool) ([]int64, error) {
+func decodePFOR(out []int64, src []byte, n int, width uint, delta bool) ([]int64, error) {
 	if n == 0 {
-		return nil, nil
+		return out[:0], nil
 	}
 	if len(src) < 12 {
 		return nil, ErrCorrupt
@@ -259,7 +280,8 @@ func decodePFOR(src []byte, n int, width uint, delta bool) ([]int64, error) {
 	if (n*int(width)+7)/8+12*nexc > len(src) {
 		return nil, ErrCorrupt
 	}
-	u, consumed := unpackBits(src, n, width)
+	u, consumed := unpackBits(getScratch(n), src, n, width)
+	defer putScratch(u)
 	src = src[consumed:]
 	for i := 0; i < nexc; i++ {
 		pos := int(binary.LittleEndian.Uint32(src[12*i:]))
@@ -268,7 +290,6 @@ func decodePFOR(src []byte, n int, width uint, delta bool) ([]int64, error) {
 		}
 		u[pos] = binary.LittleEndian.Uint64(src[12*i+4:])
 	}
-	out := make([]int64, n)
 	if delta {
 		prev := int64(0)
 		for i, v := range u {
@@ -316,13 +337,13 @@ func encodeIntDict(values []int64) ([]byte, error) {
 	return packBits(out, codes, width), nil
 }
 
-func decodeIntDict(src []byte, n int, width uint) ([]int64, error) {
+func decodeIntDict(out []int64, src []byte, n int, width uint) ([]int64, error) {
 	if len(src) < 8 {
 		return nil, ErrCorrupt
 	}
 	dn := int(binary.LittleEndian.Uint64(src[0:8]))
 	src = src[8:]
-	if dn < 0 || len(src) < 8*dn {
+	if dn < 0 || dn > len(src)/8 { // divide: 8*dn overflows on adversarial sizes
 		return nil, ErrCorrupt
 	}
 	dict := make([]int64, dn)
@@ -330,8 +351,11 @@ func decodeIntDict(src []byte, n int, width uint) ([]int64, error) {
 		dict[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
 	}
 	src = src[8*dn:]
-	codes, _ := unpackBits(src, n, width)
-	out := make([]int64, n)
+	if len(src) < (n*int(width)+7)/8 {
+		return nil, ErrCorrupt
+	}
+	codes, _ := unpackBits(getScratch(n), src, n, width)
+	defer putScratch(codes)
 	for i, c := range codes {
 		if c >= uint64(dn) {
 			return nil, ErrCorrupt
@@ -371,7 +395,11 @@ func DecodeStrings(buf []byte) ([]string, error) {
 	case PDict:
 		return decodeStringDict(rest, n, width)
 	case Raw:
-		out := make([]string, 0, n)
+		capHint := n
+		if max := len(rest) / 4; capHint > max {
+			capHint = max
+		}
+		out := make([]string, 0, capHint)
 		for i := 0; i < n; i++ {
 			if len(rest) < 4 {
 				return nil, ErrCorrupt
@@ -386,7 +414,7 @@ func DecodeStrings(buf []byte) ([]string, error) {
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("compress: scheme %v not supported for strings", s)
+		return nil, fmt.Errorf("compress: scheme %v not supported for strings: %w", s, ErrCorrupt)
 	}
 }
 
@@ -430,6 +458,11 @@ func decodeStringDict(src []byte, n int, width uint) ([]string, error) {
 	}
 	dn := int(binary.LittleEndian.Uint32(src[0:4]))
 	src = src[4:]
+	// Each dictionary entry costs at least its 4-byte length prefix, so a
+	// claimed size beyond len(src)/4 cannot be backed by real data.
+	if dn > len(src)/4 {
+		return nil, ErrCorrupt
+	}
 	dict := make([]string, dn)
 	for i := range dict {
 		if len(src) < 4 {
@@ -443,7 +476,11 @@ func decodeStringDict(src []byte, n int, width uint) ([]string, error) {
 		dict[i] = string(src[:l])
 		src = src[l:]
 	}
-	codes, _ := unpackBits(src, n, width)
+	if len(src) < (n*int(width)+7)/8 {
+		return nil, ErrCorrupt
+	}
+	codes, _ := unpackBits(getScratch(n), src, n, width)
+	defer putScratch(codes)
 	out := make([]string, n)
 	for i, c := range codes {
 		if c >= uint64(dn) {

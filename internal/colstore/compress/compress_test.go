@@ -215,7 +215,7 @@ func TestQuickBitPack(t *testing.T) {
 			}
 		}
 		packed := packBits(nil, values, width)
-		got, consumed := unpackBits(packed, len(values), width)
+		got, consumed := unpackBits(make([]uint64, len(values)), packed, len(values), width)
 		if consumed != len(packed) {
 			return false
 		}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coopscan/internal/disk"
+	"coopscan/internal/sim"
+	"coopscan/internal/storage"
+)
+
+// gappedRangeSet builds a random non-contiguous range set over [0,
+// numChunks): 2–4 disjoint runs separated by at least one skipped chunk —
+// the shape zonemap pruning hands the scheduler.
+func gappedRangeSet(rng *rand.Rand, numChunks int) storage.RangeSet {
+	var ranges []storage.Range
+	pos := rng.Intn(3)
+	for len(ranges) < 4 && pos < numChunks {
+		end := pos + 1 + rng.Intn(4)
+		if end > numChunks {
+			end = numChunks
+		}
+		ranges = append(ranges, storage.Range{Start: pos, End: end})
+		pos = end + 1 + rng.Intn(4) // >= 1 chunk gap
+	}
+	return storage.NewRangeSet(ranges...)
+}
+
+// TestGappedRangeSets drives queries registered with non-contiguous chunk
+// sets — the shape zonemap-pruned scans produce — through every policy and
+// both layouts. Each query must be delivered exactly its registered chunks
+// (each once, nothing from the gaps), with the incremental scheduler state
+// auditing clean at every delivery and after the drain.
+func TestGappedRangeSets(t *testing.T) {
+	for _, pol := range Policies {
+		for _, columnar := range []bool{false, true} {
+			for seed := int64(0); seed < 6; seed++ {
+				name := fmt.Sprintf("%v/columnar=%v/seed=%d", pol, columnar, seed)
+				t.Run(name, func(t *testing.T) {
+					runGappedWorkload(t, pol, seed, columnar)
+				})
+			}
+		}
+	}
+}
+
+func runGappedWorkload(t *testing.T, policy Policy, seed int64, columnar bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*104729 + 7))
+	numChunks := 16 + rng.Intn(32)
+	var layout storage.Layout
+	if columnar {
+		layout = dsmTestLayout(numChunks, 2+rng.Intn(4))
+	} else {
+		layout = nsmTestLayout(numChunks)
+	}
+	env := sim.NewEnv()
+	d := disk.New(env, disk.Params{Bandwidth: 10 << 20, SeekTime: 2e-3})
+	var bufBytes int64
+	if columnar {
+		bufBytes = layout.ChunkBytes(0, storage.AllCols(layout.Table().NumColumns())) * int64(2+rng.Intn(5))
+	} else {
+		bufBytes = layout.ChunkBytes(0, 0) * int64(2+rng.Intn(numChunks))
+	}
+	abm := New(env, d, layout, Config{Policy: policy, BufferBytes: bufBytes})
+	cpu := env.NewResource("cpu", 2)
+
+	nQueries := 2 + rng.Intn(4)
+	remaining := nQueries
+	delivered := make([]map[int]int, nQueries)
+	ranges := make([]storage.RangeSet, nQueries)
+	for i := 0; i < nQueries; i++ {
+		i := i
+		name := fmt.Sprintf("q%d", i)
+		rs := gappedRangeSet(rng, numChunks)
+		ranges[i] = rs
+		delivered[i] = map[int]int{}
+		var cols storage.ColSet
+		if columnar {
+			nc := layout.Table().NumColumns()
+			cols = cols.Add(rng.Intn(nc))
+			cols = cols.Add(rng.Intn(nc))
+		}
+		cost := float64(rng.Intn(3)) * 0.01
+		delay := float64(rng.Intn(12)) * 0.3
+		env.ProcessAt(name, delay, func(p *sim.Proc) {
+			q := abm.NewQuery(name, rs, cols)
+			RunCScan(p, abm, q, ScanOptions{
+				CPU:     cpu,
+				Quantum: 0.01,
+				Cost:    func(int, int64) float64 { return cost },
+				OnChunk: func(c int) {
+					delivered[i][c]++
+					auditIncrementalState(t, abm, fmt.Sprintf("%s chunk %d", name, c))
+				},
+			})
+			remaining--
+			if remaining == 0 {
+				abm.Shutdown()
+			}
+		})
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatalf("policy %v seed %d: %v", policy, seed, err)
+	}
+	auditIncrementalState(t, abm, "drained")
+
+	for i := 0; i < nQueries; i++ {
+		want := map[int]bool{}
+		ranges[i].Each(func(c int) { want[c] = true })
+		for c, n := range delivered[i] {
+			if !want[c] {
+				t.Errorf("q%d: chunk %d delivered but not registered (gap leak)", i, c)
+			}
+			if n != 1 {
+				t.Errorf("q%d: chunk %d delivered %d times", i, c, n)
+			}
+		}
+		if got := len(delivered[i]); got != ranges[i].Len() {
+			t.Errorf("q%d: delivered %d chunks, want %d (%v)", i, got, ranges[i].Len(), ranges[i])
+		}
+	}
+	if len(abm.queries) != 0 {
+		t.Fatalf("queries leaked after drain: %d", len(abm.queries))
+	}
+}

@@ -29,13 +29,15 @@ type serverObs struct {
 	enabled bool
 	tracer  *obs.Tracer
 
-	inflight      *obs.Gauge
-	readSeconds   *obs.Histogram
-	verifySeconds *obs.Histogram
-	pinSeconds    *obs.Histogram
-	readBytes     *obs.Counter
-	recycleGets   *obs.Counter
-	recycleAllocs *obs.Counter
+	inflight          *obs.Gauge
+	readSeconds       *obs.Histogram
+	verifySeconds     *obs.Histogram
+	decompressSeconds *obs.Histogram
+	pinSeconds        *obs.Histogram
+	readBytes         *obs.Counter
+	decodedBytes      *obs.Counter
+	recycleGets       *obs.Counter
+	recycleAllocs     *obs.Counter
 
 	// Fault counters mirror FaultStats one to one and stay unlabelled, so a
 	// registry scrape can be compared exactly against Server.Stats().Faults.
@@ -48,6 +50,7 @@ type serverObs struct {
 	schedSeconds *obs.HistogramVec // {table, policy}
 	scanSeconds  *obs.HistogramVec // {table, policy}
 	usefulBytes  *obs.CounterVec   // {table}
+	prunedChunks *obs.CounterVec   // {table, policy}
 
 	schedTrack obs.Track
 }
@@ -60,6 +63,7 @@ type tableObs struct {
 	sched  *obs.Histogram
 	scan   *obs.Histogram
 	useful *obs.Counter
+	pruned *obs.Counter
 
 	lanes     []obs.Track
 	laneCount int
@@ -76,10 +80,14 @@ func newServerObs(reg *obs.Registry, tracer *obs.Tracer) serverObs {
 			"Wall time of coalesced load reads, verify time excluded (includes the device-model sleep).", obs.IOBuckets)
 		o.verifySeconds = reg.Histogram("coopscan_load_verify_seconds",
 			"Wall time of per-page checksum verification, accumulated per load read.", obs.IOBuckets)
+		o.decompressSeconds = reg.Histogram("coopscan_load_decompress_seconds",
+			"Wall time spent decompressing v4 extents into page buffers, accumulated per load read.", obs.IOBuckets)
 		o.pinSeconds = reg.Histogram("coopscan_load_pin_seconds",
 			"Wall time of a load completion's pin-and-commit section.", obs.SchedBuckets)
 		o.readBytes = reg.Counter("coopscan_load_read_bytes_total",
-			"Bytes read from table files by load workers.")
+			"Bytes read from table files by load workers (stored/disk bytes: compressed widths on v4 tables).")
+		o.decodedBytes = reg.Counter("coopscan_load_decoded_bytes_total",
+			"Bytes staged into page buffers after decompression (equals read bytes on raw tables).")
 		o.recycleGets = reg.Counter("coopscan_recycle_gets_total",
 			"Page buffers drawn from the recycle pools.")
 		o.recycleAllocs = reg.Counter("coopscan_recycle_allocs_total",
@@ -100,6 +108,8 @@ func newServerObs(reg *obs.Registry, tracer *obs.Tracer) serverObs {
 			"Wall latency of whole scans, registration to finish.", obs.ScanBuckets, "table", "policy")
 		o.usefulBytes = reg.CounterVec("coopscan_scan_useful_bytes_total",
 			"Delivered bytes the scans' projections actually needed.", "table")
+		o.prunedChunks = reg.CounterVec("coopscan_chunks_pruned_total",
+			"Chunks zonemap-pruned out of scan registrations before reaching the scheduler.", "table", "policy")
 	}
 	if tracer != nil {
 		o.schedTrack = tracer.NewTrack("scheduler")

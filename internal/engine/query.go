@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/binary"
+	"math"
 
 	"coopscan/internal/exec"
 	"coopscan/internal/storage"
@@ -12,6 +13,19 @@ import (
 // projection a DSM table turns directly into an I/O saving.
 func Q6Cols() storage.ColSet {
 	return storage.Cols(ColShipDate, ColQuantity, ColExtendedPrice, ColDiscount)
+}
+
+// Q6Preds renders the Q6 kernel's filters as predicate ranges for zonemap
+// pruning: shipdate in [DateLo, DateHi) and quantity < MaxQty become
+// inclusive intervals, and discount in [DiscLo, DiscHi] passes through. A
+// chunk whose persisted bounds exclude any conjunct cannot contribute a
+// matching tuple, so pruning with these never changes the Q6 aggregate.
+func Q6Preds(pred exec.Q6Predicate) []PredRange {
+	return []PredRange{
+		{Col: ColShipDate, Lo: pred.DateLo, Hi: pred.DateHi - 1},
+		{Col: ColQuantity, Lo: math.MinInt64, Hi: pred.MaxQty - 1},
+		{Col: ColDiscount, Lo: pred.DiscLo, Hi: pred.DiscHi},
+	}
 }
 
 // Q1Cols returns the column set the SLOW (TPC-H Q1) kernel reads.

@@ -149,6 +149,14 @@ type TableStats struct {
 	// unless ServerConfig.MeasureScheduling).
 	SchedNanos int64
 	SchedCalls int64
+	// DiskBytesRead is the stored bytes load workers transferred for this
+	// table: compressed widths on v4 files, so it diverges from
+	// ABM.BytesRead (which accounts the decompressed pool footprint)
+	// exactly by the compression ratio.
+	DiskBytesRead int64
+	// ChunksPruned counts chunks removed from scan registrations by
+	// zonemap pruning — work the scheduler never saw.
+	ChunksPruned int64
 }
 
 // FaultStats counts the server's fault-handling activity. All fields are
@@ -218,6 +226,13 @@ type serverTable struct {
 	// detaching table is finalised only once it reaches zero. Guarded by
 	// the server mutex.
 	inflight int
+	// diskRead accumulates the stored bytes load workers transferred for
+	// this table (compressed widths on v4 files); pruned accumulates the
+	// chunks zonemap pruning removed from scan registrations. Both are
+	// atomics because they are bumped outside the server mutex (workers
+	// and the pre-registration scan path).
+	diskRead atomic.Int64
+	pruned   atomic.Int64
 	// detaching is set by DetachTable: the scheduler stops issuing the
 	// table's loads, queued and future registrations fail with
 	// ErrTableDetached, and parked streams wake to observe it. detached is
@@ -519,6 +534,7 @@ func (s *Server) newTable(idx int, name string, tf *TableFile) *serverTable {
 	t.o.sched = s.o.schedSeconds.With(name, s.cfg.Policy.String())
 	t.o.scan = s.o.scanSeconds.With(name, s.cfg.Policy.String())
 	t.o.useful = s.o.usefulBytes.With(name)
+	t.o.pruned = s.o.prunedChunks.With(name, s.cfg.Policy.String())
 	return t
 }
 
@@ -864,9 +880,15 @@ func (s *Server) worker() {
 			// accumulated verify time rendered as a trailing span.
 			if iost.bytes > 0 {
 				job.lane.SpanAt("queued", job.issuedAt, iost.start, nil)
-				vStart := iost.end.Add(-iost.verify)
-				job.lane.SpanAt("read", iost.start, vStart, obs.Args{"bytes": iost.bytes})
-				job.lane.SpanAt("verify", vStart, iost.end, nil)
+				vStart := iost.end.Add(-iost.verify - iost.decomp)
+				job.lane.SpanAt("read", iost.start, vStart, obs.Args{"bytes": iost.bytes, "disk": iost.diskBytes})
+				if iost.decomp > 0 {
+					dEnd := vStart.Add(iost.decomp)
+					job.lane.SpanAt("decompress", vStart, dEnd, nil)
+					job.lane.SpanAt("verify", dEnd, iost.end, nil)
+				} else {
+					job.lane.SpanAt("verify", vStart, iost.end, nil)
+				}
 			} else {
 				job.lane.Span("queued", job.issuedAt, nil)
 			}
@@ -884,7 +906,7 @@ func (s *Server) worker() {
 					break // committed
 				}
 			}
-			if errors.Is(err, ErrChecksum) {
+			if errors.Is(err, ErrChecksum) || errors.Is(err, ErrCorrupt) {
 				s.faults.ChecksumErrors++
 				s.o.checksumErrors.Inc()
 			}
@@ -1071,13 +1093,18 @@ func (s *Server) quarantineTargets(job loadJob, cause error) []partID {
 
 // ioStats carries one readMissing call's measurements out for metric
 // observation and trace rendering: the read's wall interval, the bytes
-// handed back, and the slice of the interval spent verifying checksums
-// (accumulated across the call's page runs). Zero when the call had nothing
-// to read or observability is off.
+// handed back, and the slices of the interval spent verifying checksums
+// and decompressing v4 extents (accumulated across the call's page runs).
+// diskBytes is what the device transferred — the stored (compressed on v4)
+// widths — and is counted even when observability is off, because the
+// per-table disk accounting feeds TableStats; everything else is zero when
+// the call had nothing to read or observability is off.
 type ioStats struct {
 	start, end time.Time
-	bytes      int64
+	bytes      int64 // decompressed bytes staged into page buffers
+	diskBytes  int64 // stored bytes the device actually served
 	verify     time.Duration
+	decomp     time.Duration
 }
 
 // readMissing reads the listed pages from the table file into recycled
@@ -1097,10 +1124,11 @@ func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[b
 		return nil, ioStats{}, nil
 	}
 	var iost ioStats
-	var verify *time.Duration
+	var verify, decomp *time.Duration
 	if s.o.enabled {
 		iost.start = time.Now()
 		verify = &iost.verify
+		decomp = &iost.decomp
 	}
 	out := make(map[bufferpool.PageID][]byte, len(missing))
 	var firstErr error
@@ -1109,19 +1137,24 @@ func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[b
 		for j < len(missing) && missing[j] == missing[j-1]+1 {
 			j++
 		}
-		if err := s.readRun(t, missing[i:j], out, verify); err != nil && firstErr == nil {
+		if err := s.readRun(t, missing[i:j], out, verify, decomp, &iost.diskBytes); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		i = j
 	}
+	t.diskRead.Add(iost.diskBytes)
 	if s.o.enabled {
 		iost.end = time.Now()
 		for _, b := range out {
 			iost.bytes += int64(len(b))
 		}
-		s.o.readBytes.Add(iost.bytes)
-		s.o.readSeconds.Observe((iost.end.Sub(iost.start) - iost.verify).Seconds())
+		s.o.readBytes.Add(iost.diskBytes)
+		s.o.decodedBytes.Add(iost.bytes)
+		s.o.readSeconds.Observe((iost.end.Sub(iost.start) - iost.verify - iost.decomp).Seconds())
 		s.o.verifySeconds.Observe(iost.verify.Seconds())
+		if t.tf.Compressed() {
+			s.o.decompressSeconds.Observe(iost.decomp.Seconds())
+		}
 	}
 	return out, iost, firstErr
 }
@@ -1129,26 +1162,31 @@ func (s *Server) readMissing(t *serverTable, missing []bufferpool.PageID) (map[b
 // readRun reads one run of consecutive pages: a single page draws its
 // buffer from the recycle pool; a longer run is one coalesced positioned
 // read into a slab whose per-page sub-slices enter the recycle economy on
-// eviction like any other page buffer. verify, when non-nil, accumulates
-// the wall time spent on checksum verification.
-func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[bufferpool.PageID][]byte, verify *time.Duration) error {
+// eviction like any other page buffer. Buffers are always decompressed
+// (fixed-width) pages — on a v4 table the read path inflates the stored
+// extents on the way in — while disk, the device-bandwidth model and
+// diskBytes pay the stored widths. verify and decomp, when non-nil,
+// accumulate the wall time spent on checksum verification and extent
+// decompression.
+func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[bufferpool.PageID][]byte, verify, decomp *time.Duration, diskBytes *int64) error {
 	start := time.Now()
 	first := int64(run[0]) % pageStride
-	var total int64
+	stored := t.tf.StoredRunBytes(first, len(run))
+	*diskBytes += stored
 	if len(run) == 1 {
-		total = t.tf.PageBytes(first)
 		s.o.recycleGets.Inc()
-		buf := s.bufPool(total).Get().([]byte)
-		if err := t.tf.readPageRange(first, 1, buf, verify); err != nil {
+		buf := s.bufPool(t.tf.PageBytes(first)).Get().([]byte)
+		if err := t.tf.readPageRange(first, 1, buf, verify, decomp); err != nil {
 			return fmt.Errorf("engine: read %s page %d: %w", t.name, first, err)
 		}
 		out[run[0]] = buf
 	} else {
+		var total int64
 		for _, id := range run {
 			total += t.tf.PageBytes(int64(id) % pageStride)
 		}
 		slab := make([]byte, total)
-		if err := t.tf.readPageRange(first, len(run), slab, verify); err != nil {
+		if err := t.tf.readPageRange(first, len(run), slab, verify, decomp); err != nil {
 			return fmt.Errorf("engine: read %s pages [%d,%d): %w", t.name, first, first+int64(len(run)), err)
 		}
 		var off int64
@@ -1159,9 +1197,10 @@ func (s *Server) readRun(t *serverTable, run []bufferpool.PageID, out map[buffer
 		}
 	}
 	if bw := s.cfg.ReadBandwidth; bw > 0 {
-		// Device model: this load stream moves at bw bytes/s; sleep off
-		// whatever the page cache served faster than that.
-		if budget := time.Duration(float64(total) / float64(bw) * float64(time.Second)); budget > 0 {
+		// Device model: this load stream moves at bw bytes/s over the
+		// stored widths — a compressed extent costs its compressed size.
+		// Sleep off whatever the page cache served faster than that.
+		if budget := time.Duration(float64(stored) / float64(bw) * float64(time.Second)); budget > 0 {
 			if spent := time.Since(start); spent < budget {
 				time.Sleep(budget - spent)
 			}
@@ -1264,6 +1303,17 @@ func (s *Server) ScanContext(ctx context.Context, table int, name string, ranges
 	return s.ScanWith(ctx, ScanRequest{Table: table, Name: name, Ranges: ranges, Cols: cols}, onChunk)
 }
 
+// PredRange is one conjunct of a scan's predicate: column Col's value lies
+// in [Lo, Hi], inclusive. The engine uses it only to prune — chunks whose
+// persisted zonemap bounds cannot intersect the interval are dropped from
+// the registration — so a predicate is always safe to pass: tuple-level
+// filtering stays the kernel's job, and on tables without bounds (v3 files,
+// the comment column) the predicate simply prunes nothing.
+type PredRange struct {
+	Col    int
+	Lo, Hi int64
+}
+
 // ScanRequest names everything one cooperative scan needs: the table slot,
 // a diagnostic name, the chunk ranges, the column projection and an
 // optional SLO weight.
@@ -1278,6 +1328,12 @@ type ScanRequest struct {
 	// floods of weight-1 (batch) ones. Zero means the default 1, which is
 	// exactly the paper's unweighted formula.
 	Weight float64
+	// Preds are the scan's predicate ranges (§2(2) of the paper: chunk
+	// metadata such as min/max values lets table scans skip chunks). Every
+	// conjunct prunes independently; the query registers with the
+	// intersection, so the scheduler's interest sets shrink to the chunks
+	// that can actually match.
+	Preds []PredRange
 }
 
 // ScanWith is ScanContext with per-request options (currently the SLO
@@ -1315,6 +1371,37 @@ func (s *Server) ScanWith(ctx context.Context, req ScanRequest, onChunk func(chu
 	}
 	if bad := req.Cols.Minus(storage.AllCols(NumCols)); !bad.Empty() {
 		return core.Stats{}, fmt.Errorf("%w: scan %q reads columns %v beyond the stored %d", ErrInvalidColumns, req.Name, bad, NumCols)
+	}
+	// Zonemap pruning: drop every chunk whose persisted bounds exclude a
+	// predicate before the query ever reaches the scheduler. Predicates
+	// over columns without bounds (v3 files, the comment filler) prune
+	// nothing — they are hints, never filters, so correctness cannot
+	// depend on them. An empty Lo>Hi interval legitimately prunes
+	// everything (e.g. a quantity filter below the column's domain).
+	if len(req.Preds) > 0 {
+		for _, p := range req.Preds {
+			if p.Col < 0 || p.Col >= NumCols {
+				return core.Stats{}, fmt.Errorf("%w: scan %q predicate on column %d of %d", ErrInvalidColumns, req.Name, p.Col, NumCols)
+			}
+		}
+		kept := req.Ranges
+		for _, p := range req.Preds {
+			zm := t.tf.ZoneMap(p.Col)
+			if zm == nil {
+				continue
+			}
+			kept = kept.Intersect(zm.Prune(p.Lo, p.Hi))
+		}
+		if skipped := req.Ranges.Len() - kept.Len(); skipped > 0 {
+			t.pruned.Add(int64(skipped))
+			t.o.pruned.Add(int64(skipped))
+		}
+		if kept.Empty() {
+			// Every requested chunk's bounds exclude the predicate: the
+			// scan is complete with zero chunks, no query registered.
+			return core.Stats{Query: req.Name}, nil
+		}
+		req.Ranges = kept
 	}
 	if !s.o.enabled {
 		return s.scanStream(ctx, t, req, onChunk)
@@ -1557,11 +1644,13 @@ func (s *Server) statsLocked() ServerStats {
 		}
 		schedDur, schedCalls := t.abm.SchedulingCost()
 		out.Tables = append(out.Tables, TableStats{
-			Name:        t.name,
-			ABM:         t.abm.Stats(),
-			BudgetBytes: t.abm.BufferBytes(),
-			SchedNanos:  schedDur.Nanoseconds(),
-			SchedCalls:  schedCalls,
+			Name:          t.name,
+			ABM:           t.abm.Stats(),
+			BudgetBytes:   t.abm.BufferBytes(),
+			SchedNanos:    schedDur.Nanoseconds(),
+			SchedCalls:    schedCalls,
+			DiskBytesRead: t.diskRead.Load(),
+			ChunksPruned:  t.pruned.Load(),
 		})
 	}
 	return out

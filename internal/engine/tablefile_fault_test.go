@@ -46,9 +46,15 @@ func TestOpenTypedErrors(t *testing.T) {
 			return raw
 		}, ErrBadVersion},
 		{"future version", func(raw []byte) []byte {
-			binary.LittleEndian.PutUint64(raw[8:], tableVersion+1)
+			binary.LittleEndian.PutUint64(raw[8:], tableVersionCompressed+1)
 			return raw
 		}, ErrBadVersion},
+		{"compressed version on NSM", func(raw []byte) []byte {
+			// v4 is DSM-only: an NSM file whose version says compressed is
+			// a geometry contradiction, not a readable table.
+			binary.LittleEndian.PutUint64(raw[8:], tableVersionCompressed)
+			return raw
+		}, ErrBadGeometry},
 		{"zero rows", func(raw []byte) []byte {
 			binary.LittleEndian.PutUint64(raw[16:], 0)
 			return raw

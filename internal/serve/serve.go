@@ -42,6 +42,12 @@ type Config struct {
 	// session's scan and releases its admission slot and buffer budget.
 	// Default 10s; negative disables.
 	WriteTimeout time.Duration
+	// PruneQ6, when set, attaches the default Q6 predicate ranges to every
+	// Q6-aggregating scan (?agg=q6), so tables with persisted zonemaps
+	// prune chunks that cannot match before they reach the scheduler. Raw
+	// tables ignore the hint; the trailer's aggregate is unchanged either
+	// way.
+	PruneQ6 bool
 	// Obs, when non-nil, receives the per-tier session metrics and mounts
 	// the obs debug handler (/metrics, /statusz with a sessions section,
 	// /debug/pprof) under the front-end's mux.
@@ -106,6 +112,7 @@ type Frontend struct {
 	mux          *http.ServeMux
 	heartbeat    time.Duration
 	writeTimeout time.Duration
+	pruneQ6      bool
 	m            *metrics
 	obsOn        bool
 
@@ -145,6 +152,7 @@ func New(cfg Config) (*Frontend, error) {
 		gate:         newGate(cfg.MaxLive, cfg.MaxQueue),
 		heartbeat:    cfg.Heartbeat,
 		writeTimeout: cfg.WriteTimeout,
+		pruneQ6:      cfg.PruneQ6,
 		obsOn:        cfg.Obs != nil,
 		sessions:     make(map[*session]struct{}),
 		owned:        make(map[string]*engine.TableFile),
@@ -518,6 +526,12 @@ func (f *Frontend) handleScan(w http.ResponseWriter, r *http.Request) {
 		Ranges: storage.NewRangeSet(storage.Range{Start: start, End: end}),
 		Cols:   cols,
 		Weight: tier.Weight(),
+	}
+	if f.pruneQ6 && doQ6 {
+		// The session folds the Q6 aggregate server-side, so its filter
+		// ranges are known exactly: let zonemap-carrying tables prune the
+		// chunks whose bounds cannot match.
+		req.Preds = engine.Q6Preds(exec.DefaultQ6())
 	}
 	hdr := Header{
 		Table: tableName, Slot: slot, Start: start, End: end,

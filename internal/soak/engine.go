@@ -39,6 +39,7 @@ type EngineConfig struct {
 type EngineReport struct {
 	Streams   int
 	Cancelled int
+	Pruned    int64 // chunks zonemap-pruned out of predicated streams
 	Audits    int
 	Injected  int64
 	Retries   int64
@@ -51,16 +52,20 @@ type engineStream struct {
 	table  int
 	ranges storage.RangeSet
 	cols   storage.ColSet
+	preds  []engine.PredRange // zonemap-pruning hints; never change the aggregate
 	want   exec.Q6Result
 	cancel bool
 }
 
-// RunEngine executes one seeded engine-layer soak: an NSM and a DSM table
-// (both fault-injected) under one server, concurrent streams with random
-// ranges — some cancelled mid-scan — a background auditor freezing and
-// cross-checking the incremental scheduler state while loads retry around
-// it, golden verification of every surviving stream, and the drained-state
-// leak and budget audit after Close.
+// RunEngine executes one seeded engine-layer soak: an NSM table, a raw DSM
+// table and a compressed (v4) DSM table — all fault-injected, so corrupted
+// compressed extents must heal through CRC-verified retries — under one
+// server, concurrent streams with random ranges — some cancelled mid-scan,
+// some registering Q6 predicate ranges that zonemap-prune the v4 table — a
+// background auditor freezing and cross-checking the incremental scheduler
+// state while loads retry around it, golden verification of every
+// surviving stream, and the drained-state leak and budget audit after
+// Close.
 func RunEngine(cfg EngineConfig) (EngineReport, error) {
 	var rep EngineReport
 	if cfg.Streams <= 0 {
@@ -78,16 +83,27 @@ func RunEngine(cfg EngineConfig) (EngineReport, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	// One NSM and one DSM table, per-seed contents, generator-backed
-	// per-chunk goldens computed before the injector wraps the reader.
-	formats := []engine.Format{engine.NSM, engine.DSM}
-	tfs := make([]*engine.TableFile, len(formats))
-	goldens := make([][]exec.Q6Result, len(formats))
-	injectors := make([]*iofault.Injector, len(formats))
+	// One NSM, one raw DSM and one compressed DSM table, per-seed contents,
+	// generator-backed per-chunk goldens computed before the injector wraps
+	// the reader.
+	specs := []struct {
+		format     engine.Format
+		compressed bool
+	}{{engine.NSM, false}, {engine.DSM, false}, {engine.DSM, true}}
+	tfs := make([]*engine.TableFile, len(specs))
+	goldens := make([][]exec.Q6Result, len(specs))
+	injectors := make([]*iofault.Injector, len(specs))
 	var budget int64
-	for i, format := range formats {
+	for i, spec := range specs {
 		seed := cfg.Seed + uint64(i)*101
-		tf, err := engine.CreateFormat(filepath.Join(dir, fmt.Sprintf("t%d.tbl", i)), format, cfg.Rows, tpc, seed)
+		path := filepath.Join(dir, fmt.Sprintf("t%d.tbl", i))
+		var tf *engine.TableFile
+		var err error
+		if spec.compressed {
+			tf, err = engine.CreateCompressed(path, cfg.Rows, tpc, seed)
+		} else {
+			tf, err = engine.CreateFormat(path, spec.format, cfg.Rows, tpc, seed)
+		}
 		if err != nil {
 			return rep, err
 		}
@@ -134,7 +150,7 @@ func RunEngine(cfg EngineConfig) (EngineReport, error) {
 		a := rng.Intn(n - 3)
 		b := a + 3 + rng.Intn(n-a-2)
 		cols := engine.Q6Cols()
-		if formats[ti] == engine.DSM && rng.Intn(3) == 0 {
+		if specs[ti].format == engine.DSM && rng.Intn(3) == 0 {
 			cols = cols.Add(rng.Intn(engine.NumCols))
 		}
 		st := &engineStream{table: ti, ranges: storage.NewRangeSet(storage.Range{Start: a, End: b}), cols: cols}
@@ -142,6 +158,12 @@ func RunEngine(cfg EngineConfig) (EngineReport, error) {
 		if !st.cancel {
 			for c := a; c < b; c++ {
 				st.want.Add(goldens[ti][c])
+			}
+			if specs[ti].compressed && rng.Intn(2) == 0 {
+				// Zonemap pruning only removes chunks whose bounds exclude
+				// the Q6 filters — chunks that contribute zero — so the
+				// fault-free golden over the full range still holds.
+				st.preds = engine.Q6Preds(exec.DefaultQ6())
 			}
 		} else {
 			rep.Cancelled++
@@ -185,7 +207,10 @@ func RunEngine(cfg EngineConfig) (EngineReport, error) {
 				ctx, cancel = context.WithCancel(ctx)
 				defer cancel()
 			}
-			_, errs[i] = srv.ScanContext(ctx, st.table, fmt.Sprintf("s%d", i), st.ranges, st.cols, func(c int, d engine.ChunkData) {
+			_, errs[i] = srv.ScanWith(ctx, engine.ScanRequest{
+				Table: st.table, Name: fmt.Sprintf("s%d", i),
+				Ranges: st.ranges, Cols: st.cols, Preds: st.preds,
+			}, func(c int, d engine.ChunkData) {
 				results[i].Add(engine.Q6Chunk(d, exec.DefaultQ6()))
 				if st.cancel {
 					cancel()
@@ -218,6 +243,9 @@ func RunEngine(cfg EngineConfig) (EngineReport, error) {
 
 	st := srv.Stats()
 	rep.Retries = st.Faults.Retries
+	for _, ts := range st.Tables {
+		rep.Pruned += ts.ChunksPruned
+	}
 	if !cfg.NoFaults {
 		if st.Faults.QuarantinedParts != 0 {
 			return rep, fmt.Errorf("soak: %d parts quarantined under a heal-always fault plan", st.Faults.QuarantinedParts)

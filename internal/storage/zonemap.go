@@ -43,7 +43,11 @@ func (z *ZoneMap) Bounds(c int) (lo, hi int64) { return z.min[c], z.max[c] }
 
 // Prune returns the chunks whose value range intersects [lo, hi], as a
 // normalised RangeSet: the scan plan for a range predicate on this column.
+// An inverted interval (lo > hi) is empty and intersects nothing.
 func (z *ZoneMap) Prune(lo, hi int64) RangeSet {
+	if lo > hi {
+		return RangeSet{}
+	}
 	var ranges []Range
 	start := -1
 	for c := 0; c < len(z.min); c++ {
